@@ -1,0 +1,123 @@
+"""Ablations of the paper's design choices (DESIGN.md §5).
+
+Four studies beyond the paper's headline figures:
+
+1. **§3.3 strawman** - WL-Cache vs a write-through cache with a CAM write
+   buffer. The paper argues the buffer's critical-path probe and drain
+   reserve make it inferior; we measure both designs under Trace 1.
+2. **§2.3.3 NVSRAM spectrum** - full vs ideal vs practical checkpointing.
+   The paper ranks ideal >= full (same reserve, cheaper flushes) and
+   practical below both (NV-way hits at run time). At our scale, full's
+   whole-array restore can slightly edge ideal - it reboots with every
+   clean line warm - so the assertion allows a small band either way;
+   WL-Cache must beat the whole spectrum.
+3. **§5.4 lazy vs eager DirtyQueue cleanup** - eager search frees slots
+   sooner but pays per-eviction; the paper's lazy choice should be at
+   least as fast.
+4. **Waterline gap** - gap 1 (the paper's default) vs 0 (no ILP slack:
+   cleaning happens synchronously at maxline) and wider gaps.
+"""
+
+from bench_common import SENSITIVITY_APPS, print_figure
+from repro.analysis.speedup import gmean
+from repro.sim.sweep import run_grid
+
+TRACE = "trace1"
+
+
+def _gmean_vs(base_times, res, design, apps):
+    return gmean([base_times[a] / res[(a, design)].total_time_ns
+                  for a in apps])
+
+
+def _baseline(apps):
+    res = run_grid(apps, ("NVSRAM(ideal)",), TRACE)
+    return {a: res[(a, "NVSRAM(ideal)")].total_time_ns for a in apps}
+
+
+def run_strawman():
+    apps = SENSITIVITY_APPS
+    base = _baseline(apps)
+    rows = []
+    out = {}
+    for design in ("VCache-WT", "WT+Buffer", "WL-Cache"):
+        res = run_grid(apps, (design,), TRACE)
+        out[design] = _gmean_vs(base, res, design, apps)
+        rows.append([design, out[design]])
+    print_figure("Ablation 1 (§3.3): WT + write buffer vs WL-Cache, Trace 1",
+                 ["design", "speedup vs NVSRAM"], rows, "abl1_wt_buffer")
+    return out
+
+
+def run_nvsram_spectrum():
+    apps = SENSITIVITY_APPS
+    base = _baseline(apps)
+    rows = []
+    out = {}
+    for design in ("NVSRAM(full)", "NVSRAM(ideal)", "NVSRAM(practical)",
+                   "WL-Cache"):
+        res = run_grid(apps, (design,), TRACE)
+        out[design] = _gmean_vs(base, res, design, apps)
+        rows.append([design, out[design]])
+    print_figure("Ablation 2 (§2.3.3): NVSRAM checkpointing spectrum, Trace 1",
+                 ["design", "speedup vs NVSRAM(ideal)"], rows,
+                 "abl2_nvsram_spectrum")
+    return out
+
+
+def run_cleanup_policy():
+    apps = SENSITIVITY_APPS
+    base = _baseline(apps)
+    out = {}
+    for design in ("WL-Cache", "WL-Cache(eager)"):
+        res = run_grid(apps, (design,), TRACE)
+        out[design] = _gmean_vs(base, res, design, apps)
+    rows = [[k, v] for k, v in out.items()]
+    print_figure("Ablation 3 (§5.4): lazy vs eager DirtyQueue cleanup",
+                 ["design", "speedup vs NVSRAM"], rows, "abl3_cleanup")
+    return out
+
+
+def run_waterline_gap():
+    apps = SENSITIVITY_APPS
+    base = _baseline(apps)
+    out = {}
+    for gap in (0, 1, 2, 4):
+        res = run_grid(apps, ("WL-Cache",), TRACE, maxline=6,
+                       waterline=6 - gap, adaptive=False)
+        out[gap] = _gmean_vs(base, res, "WL-Cache", apps)
+    rows = [[f"gap {g} (waterline {6 - g})", v] for g, v in out.items()]
+    print_figure("Ablation 4: waterline gap (maxline 6), Trace 1",
+                 ["setting", "speedup vs NVSRAM"], rows, "abl4_waterline_gap")
+    return out
+
+
+def test_ablation_wt_buffer(benchmark):
+    out = benchmark.pedantic(run_strawman, rounds=1, iterations=1)
+    # the buffer helps plain WT, but WL-Cache stays ahead (§3.3)
+    assert out["WT+Buffer"] > out["VCache-WT"]
+    assert out["WL-Cache"] > out["WT+Buffer"]
+
+
+def test_ablation_nvsram_spectrum(benchmark):
+    out = benchmark.pedantic(run_nvsram_spectrum, rounds=1, iterations=1)
+    assert abs(out["NVSRAM(full)"] - out["NVSRAM(ideal)"]) < 0.08
+    assert out["WL-Cache"] > out["NVSRAM(ideal)"]
+    assert out["WL-Cache"] > out["NVSRAM(full)"]
+    # practical pays NV-way hit costs at run time (the paper's critique)
+    assert out["NVSRAM(practical)"] < out["NVSRAM(ideal)"]
+    assert out["NVSRAM(practical)"] < out["WL-Cache"]
+
+
+def test_ablation_cleanup_policy(benchmark):
+    out = benchmark.pedantic(run_cleanup_policy, rounds=1, iterations=1)
+    # lazy cleanup (the paper's choice) is at least as good as eager
+    assert out["WL-Cache"] >= out["WL-Cache(eager)"] - 0.02
+
+
+def test_ablation_waterline_gap(benchmark):
+    out = benchmark.pedantic(run_waterline_gap, rounds=1, iterations=1)
+    # gap 0 forfeits the async-write-back overlap; the default gap of 1
+    # recovers it, and wider gaps give no further benefit
+    assert out[1] >= out[0]
+    assert abs(out[2] - out[1]) < 0.08

@@ -1,0 +1,69 @@
+"""Shared machinery for the per-figure benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper: it runs
+the sweep, prints the same rows/series the paper plots, writes a CSV under
+``results/``, and asserts the qualitative *shape* the paper reports (who
+wins, roughly by how much, where crossovers fall). Absolute numbers differ
+- the substrate is a behavioral simulator - but orderings must hold.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` - workload size multiplier (default 1.0).
+* ``REPRO_BENCH_APPS`` - comma-separated subset of workloads (default: the
+  full 23-app suite for the per-app figures; the sensitivity figures use
+  ``SENSITIVITY_APPS`` to stay laptop-friendly, as EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.speedup import gmean, suite_gmeans
+from repro.analysis.tables import print_figure
+from repro.sim.config import BASELINE_DESIGN, DESIGNS, SimConfig
+from repro.sim.sweep import bench_scale, run_grid, speedups_vs_baseline
+from repro.workloads import ALL_WORKLOADS, MEDIABENCH, MIBENCH
+
+#: representative subset used by the averaged sensitivity figures
+SENSITIVITY_APPS = (
+    "adpcmencode", "jpegdecode", "sha", "susancorners",
+    "qsort", "dijkstra", "fft", "rijndael_e",
+)
+
+
+def bench_apps(default=ALL_WORKLOADS) -> tuple[str, ...]:
+    env = os.environ.get("REPRO_BENCH_APPS")
+    if env:
+        return tuple(a.strip() for a in env.split(",") if a.strip())
+    return tuple(default)
+
+
+def speedup_figure(trace: str | None, title: str, csv_name: str,
+                   apps=None, config: SimConfig | None = None,
+                   designs=DESIGNS, **overrides):
+    """Run a per-app speedup figure (Figs. 4/5/6 pattern).
+
+    Returns ``{design: {app: speedup}}`` plus prints/persists the table.
+    """
+    apps = bench_apps() if apps is None else apps
+    results = run_grid(apps, designs, trace, config, **overrides)
+    sp = speedups_vs_baseline(results)
+    per_design = {d: {a: sp[(a, d)] for a in apps} for d in designs}
+
+    headers = ["app"] + [d for d in designs]
+    rows = []
+    for a in apps:
+        rows.append([a] + [per_design[d][a] for d in designs])
+    for label, suite in (("gmean(Media)", MEDIABENCH), ("gmean(Mi)", MIBENCH),
+                         ("gmean(Total)", apps)):
+        subset = [a for a in apps if a in suite]
+        if subset:
+            rows.append([label] + [gmean([per_design[d][a] for a in subset])
+                                   for d in designs])
+    print_figure(title, headers, rows, csv_name)
+    return per_design, results
+
+
+def gmean_speedup(per_design: dict[str, dict[str, float]],
+                  design: str) -> float:
+    return gmean(list(per_design[design].values()))

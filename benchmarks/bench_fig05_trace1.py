@@ -1,0 +1,29 @@
+"""Figure 5: normalized speedup vs NVSRAM(ideal) under Power Trace 1.
+
+Paper shape: WL-Cache is the best design on every app (1.09x average over
+NVSRAM with the default configuration; 1.35x with adaptation, Fig. 11);
+NVCache-WB ~0.3x, VCache-WT ~0.6x, ReplayCache ~0.8x.
+"""
+
+from bench_common import gmean_speedup, speedup_figure
+from repro.sim.config import DESIGNS
+
+
+def run_fig5():
+    per_design, _ = speedup_figure(
+        "trace1", "Figure 5: speedup vs NVSRAM(ideal), Power Trace 1",
+        "fig05_trace1")
+    return per_design
+
+
+def check_shape(per_design):
+    g = {d: gmean_speedup(per_design, d) for d in DESIGNS}
+    assert g["WL-Cache"] > 1.0  # WL beats the baseline under outages
+    assert g["WL-Cache"] > g["ReplayCache"] > g["NVCache-WB"]
+    assert g["VCache-WT"] < 1.0
+    assert g["NVCache-WB"] < 0.6
+
+
+def test_fig05_trace1(benchmark):
+    per_design = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    check_shape(per_design)

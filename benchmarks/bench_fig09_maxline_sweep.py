@@ -1,0 +1,60 @@
+"""Figure 9: per-app sensitivity to maxline (2/4/6/8) and cache replacement
+policy (FIFO vs LRU), static thresholds, Power Trace 1.
+
+Paper shape: performance peaks around maxline 4-6 (too small: no locality
+capture; too large: oversized checkpoint reserve), and FIFO cache
+replacement beats LRU under frequent outages (cold caches + LRU bookkeeping
+power, §6.5).
+"""
+
+from bench_common import bench_apps, print_figure
+from repro.analysis.speedup import gmean
+from repro.sim.sweep import run_grid
+
+MAXLINES = (2, 4, 6, 8)
+
+
+def run_fig9():
+    apps = bench_apps()
+    base = run_grid(apps, ("NVSRAM(ideal)",), "trace1")
+    base_t = {a: base[(a, "NVSRAM(ideal)")].total_time_ns for a in apps}
+    series: dict[tuple[str, int], dict[str, float]] = {}
+    for repl in ("fifo", "lru"):
+        for ml in MAXLINES:
+            res = run_grid(apps, ("WL-Cache",), "trace1",
+                           cache_replacement=repl, maxline=ml,
+                           adaptive=False)
+            series[(repl, ml)] = {
+                a: base_t[a] / res[(a, "WL-Cache")].total_time_ns
+                for a in apps}
+    headers = (["app"] + [f"FIFO/ml{m}" for m in MAXLINES]
+               + [f"LRU/ml{m}" for m in MAXLINES])
+    rows = []
+    for a in apps:
+        rows.append([a] + [series[("fifo", m)][a] for m in MAXLINES]
+                    + [series[("lru", m)][a] for m in MAXLINES])
+    rows.append(["gmean"]
+                + [gmean(list(series[("fifo", m)].values()))
+                   for m in MAXLINES]
+                + [gmean(list(series[("lru", m)].values()))
+                   for m in MAXLINES])
+    print_figure("Figure 9: maxline sweep x cache replacement, Trace 1",
+                 headers, rows, "fig09_maxline_sweep")
+    return series
+
+
+def check_shape(series):
+    fifo = {m: gmean(list(series[("fifo", m)].values())) for m in MAXLINES}
+    lru = {m: gmean(list(series[("lru", m)].values())) for m in MAXLINES}
+    # FIFO cache replacement beats LRU at every maxline under outages
+    for m in MAXLINES:
+        assert fifo[m] >= lru[m] * 0.995
+    # mid maxline (4 or 6) is at least as good as the extremes
+    best_mid = max(fifo[4], fifo[6])
+    assert best_mid >= fifo[2] - 0.01
+    assert best_mid >= fifo[8] - 0.01
+
+
+def test_fig09_maxline_sweep(benchmark):
+    series = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    check_shape(series)

@@ -1,0 +1,64 @@
+"""Figure 11: adaptive vs static-best maxline management, Power Trace 1.
+
+For each app: the static runs sweep maxline in {2,4,6,8} and keep the best
+("Best", a per-app oracle the runtime cannot have); "Adap" is the boot-time
+adaptive controller of §4. Both are shown for FIFO and LRU DirtyQueue
+cleaning, normalized to NVSRAM(ideal).
+
+Paper shape: adaptation meets or beats the static-best oracle (their
+recorded traces drift enough for tracking to win outright: 1.35x vs 1.26x
+on Trace 1). On our synthetic traces adaptation lands within a few percent
+of the oracle - the preserved property is that the runtime reaches
+near-best performance with no per-app tuning (EXPERIMENTS.md discusses the
+gap). FIFO cleaning stays ahead of LRU, and adaptive WL beats the baseline.
+"""
+
+from bench_common import bench_apps, print_figure
+from repro.analysis.speedup import gmean
+from repro.sim.sweep import run_grid
+
+MAXLINES = (2, 4, 6, 8)
+TRACE = "trace1"
+CSV = "fig11_adaptive_trace1"
+TITLE = "Figure 11: adaptive vs static-best maxline, Trace 1"
+
+
+def run_adaptive_figure(trace, title, csv_name):
+    apps = bench_apps()
+    base = run_grid(apps, ("NVSRAM(ideal)",), trace)
+    base_t = {a: base[(a, "NVSRAM(ideal)")].total_time_ns for a in apps}
+    out: dict[str, dict[str, float]] = {}
+    for dq in ("lru", "fifo"):
+        best = {a: 0.0 for a in apps}
+        for ml in MAXLINES:
+            res = run_grid(apps, ("WL-Cache",), trace, dq_policy=dq,
+                           maxline=ml, adaptive=False)
+            for a in apps:
+                best[a] = max(best[a],
+                              base_t[a] / res[(a, "WL-Cache")].total_time_ns)
+        adap = run_grid(apps, ("WL-Cache",), trace, dq_policy=dq,
+                        adaptive=True)
+        out[f"{dq.upper()}(Best)"] = best
+        out[f"{dq.upper()}(Adap)"] = {
+            a: base_t[a] / adap[(a, "WL-Cache")].total_time_ns for a in apps}
+    cols = ["LRU(Best)", "LRU(Adap)", "FIFO(Best)", "FIFO(Adap)"]
+    rows = [[a] + [out[c][a] for c in cols] for a in apps]
+    rows.append(["gmean"] + [gmean(list(out[c].values())) for c in cols])
+    print_figure(title, ["app"] + cols, rows, csv_name)
+    return {c: gmean(list(out[c].values())) for c in cols}
+
+
+def check_adaptive_shape(g):
+    # adaptation reaches near-oracle performance without per-app tuning
+    assert g["FIFO(Adap)"] >= g["FIFO(Best)"] * 0.94
+    assert g["LRU(Adap)"] >= g["LRU(Best)"] * 0.94
+    # FIFO DirtyQueue cleaning ahead of LRU
+    assert g["FIFO(Adap)"] >= g["LRU(Adap)"] * 0.99
+    # and adaptive WL beats the NVSRAM baseline
+    assert g["FIFO(Adap)"] > 1.0
+
+
+def test_fig11_adaptive_trace1(benchmark):
+    g = benchmark.pedantic(run_adaptive_figure, args=(TRACE, TITLE, CSV),
+                           rounds=1, iterations=1)
+    check_adaptive_shape(g)

@@ -1,0 +1,16 @@
+"""Figure 12: adaptive vs static-best maxline management, Power Trace 2.
+
+Same methodology as Figure 11 on the less stable office trace; the paper
+reports the adaptive win growing (FIFO 1.44x adaptive vs 1.3x static-best).
+"""
+
+from bench_fig11_adaptive_trace1 import check_adaptive_shape, run_adaptive_figure
+
+
+def test_fig12_adaptive_trace2(benchmark):
+    g = benchmark.pedantic(
+        run_adaptive_figure,
+        args=("trace2", "Figure 12: adaptive vs static-best maxline, Trace 2",
+              "fig12_adaptive_trace2"),
+        rounds=1, iterations=1)
+    check_adaptive_shape(g)

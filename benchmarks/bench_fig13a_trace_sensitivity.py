@@ -1,0 +1,68 @@
+"""Figure 13a: power-trace sensitivity across tr.1/tr.2/tr.3/solar/thermal,
+including the dynamic-adaptation variant WL-Cache(dyn).
+
+Paper shape: WL-Cache wins clearly on every RF trace (most on the highly
+unstable tr.3); on the stable solar/thermal sources NVSRAM nearly catches
+up and WL-Cache(dyn) edges past plain WL-Cache - while on RF traces the
+dynamic variant's premature Vbackup raises make it *slower* than plain WL.
+Outage counts must follow the stability ordering
+thermal < solar < tr.1 < tr.2 < tr.3.
+"""
+
+from bench_common import SENSITIVITY_APPS, print_figure
+from repro.analysis.speedup import gmean
+from repro.sim.sweep import run_grid
+
+TRACES = ("trace1", "trace2", "trace3", "solar", "thermal")
+DESIGNS_13 = ("VCache-WT", "ReplayCache", "NVSRAM(ideal)", "WL-Cache")
+
+
+def run_fig13a():
+    apps = SENSITIVITY_APPS
+    speed: dict[str, dict[str, float]] = {}
+    outages: dict[str, float] = {}
+    for trace in TRACES:
+        res = run_grid(apps, DESIGNS_13, trace)
+        dyn = run_grid(apps, ("WL-Cache",), trace, dynamic=True)
+        base = {a: res[(a, "NVSRAM(ideal)")].total_time_ns for a in apps}
+        row = {}
+        for d in DESIGNS_13:
+            row[d] = gmean([base[a] / res[(a, d)].total_time_ns
+                            for a in apps])
+        row["WL-Cache(dyn)"] = gmean(
+            [base[a] / dyn[(a, "WL-Cache")].total_time_ns for a in apps])
+        speed[trace] = row
+        # outage counts from the non-adaptive baseline (a trace property;
+        # WL's adaptation deliberately reduces its own outage exposure)
+        outages[trace] = (sum(res[(a, "NVSRAM(ideal)")].outages
+                              for a in apps) / len(apps))
+    cols = list(DESIGNS_13) + ["WL-Cache(dyn)"]
+    rows = [[t] + [speed[t][c] for c in cols] + [round(outages[t], 1)]
+            for t in TRACES]
+    print_figure("Figure 13a: speedup vs NVSRAM across power sources",
+                 ["trace"] + cols + ["wl_outages"], rows,
+                 "fig13a_trace_sensitivity")
+    return speed, outages
+
+
+def check_shape(speed, outages):
+    # WL beats the baseline on every RF trace ...
+    for t in ("trace1", "trace2", "trace3"):
+        assert speed[t]["WL-Cache"] > 1.0
+    # ... and the stable sources shrink its margin
+    rf_margin = speed["trace1"]["WL-Cache"]
+    assert speed["thermal"]["WL-Cache"] <= rf_margin + 0.02
+    # dynamic adaptation: wins on stable sources, loses on bursty RF
+    assert (speed["solar"]["WL-Cache(dyn)"]
+            >= speed["solar"]["WL-Cache"] - 0.01)
+    assert (speed["trace3"]["WL-Cache(dyn)"]
+            <= speed["trace3"]["WL-Cache"] + 0.01)
+    # outage counts follow source stability
+    assert (outages["thermal"] <= outages["solar"]
+            <= outages["trace1"] <= outages["trace2"] * 1.05
+            <= outages["trace3"] * 1.05)
+
+
+def test_fig13a_trace_sensitivity(benchmark):
+    speed, outs = benchmark.pedantic(run_fig13a, rounds=1, iterations=1)
+    check_shape(speed, outs)

@@ -1,0 +1,52 @@
+"""Figure 13b: energy-consumption breakdown by component, Power Trace 1,
+normalized to NVSRAM(ideal)'s total (= 100 %).
+
+Paper shape: NVCache dominated by cache energy; VCache-WT dominated by
+memory writes; WL-Cache's total lands below the baseline's (the paper
+reports ~17 % lower) with a smaller cache component.
+"""
+
+from bench_common import SENSITIVITY_APPS, print_figure
+from repro.analysis.energy_breakdown import CATEGORIES, normalized_breakdown
+from repro.sim.sweep import run_grid
+
+DESIGNS_13B = ("NVCache-WB", "VCache-WT", "NVSRAM(ideal)", "WL-Cache")
+
+
+def run_fig13b():
+    apps = SENSITIVITY_APPS
+    res = run_grid(apps, DESIGNS_13B, "trace1")
+    per_design = {d: [res[(a, d)] for a in apps] for d in DESIGNS_13B}
+    norm = normalized_breakdown(per_design, "NVSRAM(ideal)")
+    rows = []
+    for d in DESIGNS_13B:
+        rows.append([d] + [norm[d][c] for c in CATEGORIES]
+                    + [sum(norm[d].values())])
+    print_figure("Figure 13b: energy breakdown (% of NVSRAM total), Trace 1",
+                 ["design"] + list(CATEGORIES) + ["total"], rows,
+                 "fig13b_energy_breakdown")
+    return norm
+
+
+def check_shape(norm):
+    totals = {d: sum(v.values()) for d, v in norm.items()}
+    assert totals["NVSRAM(ideal)"] == 100.0 or abs(
+        totals["NVSRAM(ideal)"] - 100.0) < 1e-6
+    # WL-Cache consumes less energy than the baseline overall
+    assert totals["WL-Cache"] < totals["NVSRAM(ideal)"]
+    # ... with a smaller cache-energy component
+    wl_cache = norm["WL-Cache"]["cache_read"] + norm["WL-Cache"]["cache_write"]
+    ns_cache = (norm["NVSRAM(ideal)"]["cache_read"]
+                + norm["NVSRAM(ideal)"]["cache_write"])
+    assert wl_cache < ns_cache
+    # NVCache burns the most cache energy; WT the most memory-write energy
+    nv_cache = (norm["NVCache-WB"]["cache_read"]
+                + norm["NVCache-WB"]["cache_write"])
+    assert nv_cache > ns_cache
+    assert (norm["VCache-WT"]["mem_write"]
+            > norm["NVSRAM(ideal)"]["mem_write"])
+
+
+def test_fig13b_energy_breakdown(benchmark):
+    norm = benchmark.pedantic(run_fig13b, rounds=1, iterations=1)
+    check_shape(norm)

@@ -1,0 +1,57 @@
+"""Section 6.6 statistics: reconfiguration counts, observed maxline range,
+prediction accuracy, dirty lines / write-backs per power-on period, and
+pipeline-stall share, on Traces 1 and 2.
+
+Paper reference points: ~11-12 reconfigurations per run, maxline spanning
+2..6, >98 % energy-source prediction accuracy, ~6 dirty lines and 2-3
+write-backs per on-period, stalls <1 % of execution time.
+"""
+
+from bench_common import SENSITIVITY_APPS, print_figure
+from repro.sim.sweep import run_grid
+
+
+def run_sec66():
+    stats = {}
+    for trace in ("trace1", "trace2"):
+        res = run_grid(SENSITIVITY_APPS, ("WL-Cache",), trace)
+        rs = [res[(a, "WL-Cache")] for a in SENSITIVITY_APPS]
+        n = len(rs)
+        stats[trace] = {
+            "reconfigs": sum(r.reconfig_count for r in rs) / n,
+            "maxline_min": min(r.maxline_min for r in rs),
+            "maxline_max": max(r.maxline_max for r in rs),
+            "pred_acc": sum(r.prediction_accuracy for r in rs) / n,
+            "dirty/period": sum(r.avg_dirty_per_period for r in rs) / n,
+            "wb/period": sum(r.avg_writebacks_per_period for r in rs) / n,
+            "stall_frac": sum(r.stall_fraction for r in rs) / n,
+            "outages": sum(r.outages for r in rs) / n,
+        }
+    headers = ["metric", "trace1", "trace2"]
+    keys = list(stats["trace1"])
+    rows = [[k, round(stats["trace1"][k], 3), round(stats["trace2"][k], 3)]
+            for k in keys]
+    print_figure("Section 6.6: adaptive-management statistics",
+                 headers, rows, "sec66_adaptation_stats")
+    return stats
+
+
+def check_shape(stats):
+    for trace, s in stats.items():
+        assert s["reconfigs"] > 0
+        assert 1 <= s["maxline_min"] <= s["maxline_max"] <= 6
+        # our synthetic RF fades are far more volatile interval-to-interval
+        # than the paper's recorded traces, so the prediction-accuracy
+        # floor is looser than their >98 % (see EXPERIMENTS.md)
+        assert s["pred_acc"] >= 0.2
+        assert 0 < s["dirty/period"] <= 8
+        assert s["stall_frac"] < 0.05  # stalls stay a tiny share
+    # adaptive WL partially compensates trace2's extra instability, so
+    # only a loose ordering is asserted here (fig13a checks the strict
+    # trace property on the non-adaptive baseline)
+    assert stats["trace2"]["outages"] >= stats["trace1"]["outages"] * 0.8
+
+
+def test_sec66_adaptation_stats(benchmark):
+    stats = benchmark.pedantic(run_sec66, rounds=1, iterations=1)
+    check_shape(stats)

@@ -1,0 +1,83 @@
+"""Table 1 (design-space comparison), Table 2 (simulation configuration),
+and the §6.2 hardware-cost analysis.
+
+Table 1 is regenerated from the *measured* behavior of each implementation
+(reserve requirements, hardware additions, measured speedup class) rather
+than hard-coded, so it stays honest if the designs change. The hardware
+cost table reproduces the paper's CACTI-at-90nm magnitudes for the
+DirtyQueue.
+"""
+
+from bench_common import print_figure
+from repro.analysis.hwcost import dirty_queue_cost, hardware_cost_report
+from repro.analysis.speedup import gmean
+from repro.sim.config import SimConfig
+from repro.sim.factory import build_system
+from repro.sim.sweep import run_grid, speedups_vs_baseline
+from repro.workloads import build_workload
+
+APPS_T1 = ("sha", "qsort", "adpcmencode", "fft")
+
+
+def run_table1():
+    """Measure each design's energy-buffer requirement and speedup class."""
+    prog = build_workload("sha", 0.5)
+    rows = []
+    rel = {}
+    rescache = run_grid(APPS_T1, trace="trace1")
+    sp = speedups_vs_baseline(rescache)
+    designs = ("VCache-WT", "NVCache-WB", "ReplayCache", "NVSRAM(ideal)",
+               "WL-Cache")
+    for d in designs:
+        system = build_system(prog, d, trace="trace1")
+        reserve = system.reserve_nj - system.config.margin_nj()
+        rel[d] = gmean([sp[(a, d)] for a in APPS_T1])
+        req = ("None" if reserve < 50 else
+               "Small" if reserve < 600 else "Large")
+        nv_cache = "Yes" if d == "NVCache-WB" else (
+            "Yes (shadow)" if d == "NVSRAM(ideal)" else "No")
+        rows.append([d, req, f"{reserve:.0f} nJ", nv_cache, rel[d]])
+    print_figure("Table 1: design space (measured)",
+                 ["design", "energy buffer", "reserve", "NV cache",
+                  "speedup (tr.1)"], rows, "table1_design_space")
+    return rel
+
+
+def run_table2():
+    cfg = SimConfig()
+    rows = list(cfg.describe())
+    print_figure("Table 2: simulation configuration",
+                 ["parameter", "value"], rows, "table2_config")
+    return cfg
+
+
+def run_hwcost():
+    rows = [c.row() for c in hardware_cost_report()]
+    print_figure("Section 6.2: hardware cost (CACTI-like, 90 nm)",
+                 ["structure", "area mm^2", "access nJ", "leakage mW"],
+                 rows, "sec62_hwcost")
+    return hardware_cost_report()
+
+
+def test_table1_design_space(benchmark):
+    rel = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    assert rel["WL-Cache"] >= rel["ReplayCache"]
+    assert rel["WL-Cache"] >= 0.95  # at or above the baseline's class
+    assert rel["NVCache-WB"] == min(rel.values())
+
+
+def test_table2_config(benchmark):
+    cfg = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    assert cfg.geometry.size_bytes == 8192
+    assert cfg.capacitance_f == 1.0e-6
+    assert cfg.maxline == 6 and cfg.dq_capacity == 8
+
+
+def test_sec62_hwcost(benchmark):
+    report = benchmark.pedantic(run_hwcost, rounds=1, iterations=1)
+    dq = report[0]
+    assert dq.name == "DirtyQueue"
+    assert dq.area_mm2 <= 0.005
+    assert dq.access_energy_nj <= 0.001
+    nv = next(c for c in report if "NV cache" in c.name)
+    assert 0.05 <= dq.leakage_mw / nv.leakage_mw <= 0.15

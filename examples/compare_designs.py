@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Compare all five cache designs across power conditions (mini Fig. 4-6).
+
+Runs a handful of benchmarks on every cache design with no failures and
+under two RF traces, verifying each run's output, and prints normalized
+speedups against the NVSRAM(ideal) baseline.
+
+    python examples/compare_designs.py [app ...]
+"""
+
+import sys
+
+from repro.analysis import format_table, gmean
+from repro.sim import DESIGNS
+from repro.sim.sweep import run_grid, speedups_vs_baseline
+
+DEFAULT_APPS = ("sha", "adpcmencode", "qsort", "rijndael_e")
+
+
+def main() -> None:
+    apps = tuple(sys.argv[1:]) or DEFAULT_APPS
+    for trace, label in ((None, "no power failure"),
+                         ("trace1", "RF trace 1 (home)"),
+                         ("trace2", "RF trace 2 (office)")):
+        results = run_grid(apps, DESIGNS, trace)
+        sp = speedups_vs_baseline(results)
+        rows = [[a] + [sp[(a, d)] for d in DESIGNS] for a in apps]
+        rows.append(["gmean"] + [gmean([sp[(a, d)] for a in apps])
+                                 for d in DESIGNS])
+        print(f"\n--- speedup vs NVSRAM(ideal), {label} ---")
+        print(format_table(["app"] + list(DESIGNS), rows))
+        if trace:
+            outs = {d: sum(results[(a, d)].outages for a in apps)
+                    for d in DESIGNS}
+            print("total outages:", outs)
+
+
+if __name__ == "__main__":
+    main()

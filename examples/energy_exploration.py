@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Design-space walk: capacitor size and maxline vs performance.
+
+Sweeps the energy buffer (Fig. 10b's axis) and WL-Cache's maxline
+threshold (Fig. 9's axis) on one workload, printing how Vbackup, the
+compute window, outage count, and run time respond - a feel for the
+paper's central trade-off between checkpoint reserve and forward progress.
+
+    python examples/energy_exploration.py [workload]
+"""
+
+import sys
+
+from repro import build_system, get_workload
+from repro.analysis import format_table
+from repro.errors import ConfigError
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "sha"
+    program = get_workload(name).build()
+
+    rows = []
+    for cap_f, label in ((1e-7, "100nF"), (3.44e-7, "344nF"), (1e-6, "1uF"),
+                         (1e-5, "10uF"), (1e-4, "100uF")):
+        try:
+            system = build_system(program, "WL-Cache", trace="trace1",
+                                  capacitance_f=cap_f, chunk_instrs=8)
+            res = system.run()
+            rows.append([label, system.design.maxline,
+                         f"{system.v_backup:.2f}", f"{system.v_on:.2f}",
+                         res.outages, f"{res.total_time_ns / 1e3:.1f}"])
+        except ConfigError as exc:
+            rows.append([label, "-", "-", "-", "-", f"DNF ({exc})"[:40]])
+    print(f"\ncapacitor sweep ({name}, WL-Cache, trace 1)")
+    print(format_table(
+        ["capacitor", "maxline", "Vbackup", "Von", "outages", "time us"],
+        rows))
+
+    rows = []
+    for maxline in (1, 2, 4, 6, 8):
+        system = build_system(program, "WL-Cache", trace="trace1",
+                              maxline=maxline, adaptive=False)
+        res = system.run()
+        rows.append([maxline, f"{system.reserve_nj:.0f}",
+                     f"{system.v_backup:.3f}", res.outages,
+                     res.async_writebacks, res.store_stall_cycles,
+                     f"{res.total_time_ns / 1e3:.1f}"])
+    print(f"\nmaxline sweep ({name}, 1uF, trace 1)")
+    print(format_table(
+        ["maxline", "reserve nJ", "Vbackup", "outages", "writebacks",
+         "stall cyc", "time us"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro - a full reproduction of "Write-Light Cache for Energy Harvesting
+Systems" (Choi et al., ISCA 2023).
+
+The package provides:
+
+* :mod:`repro.core` - WL-Cache itself: DirtyQueue, maxline/waterline write
+  policy, JIT checkpointing, adaptive and dynamic threshold management;
+* the substrates the paper depends on - a RISC ISA + builder DSL
+  (:mod:`repro.isa`), an in-order core (:mod:`repro.cpu`), NVM + cache
+  arrays (:mod:`repro.mem`), baseline cache designs (:mod:`repro.caches`),
+  capacitor/trace energy modeling (:mod:`repro.energy`), and the NVP
+  runtime (:mod:`repro.runtime`);
+* a full-system simulator (:mod:`repro.sim`), the 23 MediaBench/MiBench
+  workloads (:mod:`repro.workloads`), analysis/reporting
+  (:mod:`repro.analysis`), and crash-consistency verification
+  (:mod:`repro.verify`).
+
+Quickstart::
+
+    from repro import build_system, get_workload
+    prog = get_workload("sha").build()
+    result = build_system(prog, "WL-Cache", trace="trace1").run()
+    print(result.summary())
+"""
+
+from repro.errors import (AssemblyError, ConfigError, ConsistencyError,
+                          EnergyError, ExecutionError, ReproError, TraceError)
+from repro.isa import Program, ProgramBuilder, assemble, disassemble
+from repro.sim import (BASELINE_DESIGN, DESIGNS, RunResult, SimConfig, System,
+                       build_system, run_one)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyError",
+    "BASELINE_DESIGN",
+    "ConfigError",
+    "ConsistencyError",
+    "DESIGNS",
+    "EnergyError",
+    "ExecutionError",
+    "Program",
+    "ProgramBuilder",
+    "ReproError",
+    "RunResult",
+    "SimConfig",
+    "System",
+    "TraceError",
+    "assemble",
+    "build_system",
+    "disassemble",
+    "get_workload",
+    "run_one",
+    "__version__",
+]
+
+
+def get_workload(name: str):
+    """Return the :class:`~repro.workloads.suite.Workload` named ``name``.
+
+    Imported lazily: the workload kernels are sizeable builder programs.
+    """
+    from repro.workloads import get_workload as _get
+    return _get(name)

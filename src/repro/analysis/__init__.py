@@ -1,0 +1,40 @@
+"""repro.analysis - speedups, tables, hardware cost, energy breakdown."""
+
+from repro.analysis.energy_breakdown import (CATEGORIES, breakdown_totals,
+                                             normalized_breakdown)
+from repro.analysis.hwcost import (ArrayCost, cache_cost, dirty_queue_cost,
+                                   hardware_cost_report, nv_array_cost,
+                                   sram_array_cost)
+from repro.analysis.plot import plot_csv, render_all
+from repro.analysis.speedup import gmean, speedup, suite_gmeans
+from repro.analysis.stats_io import (load_result, load_results_dir,
+                                     result_from_dict, result_to_dict,
+                                     save_result)
+from repro.analysis.tables import (format_table, print_figure, results_dir,
+                                   write_csv)
+
+__all__ = [
+    "ArrayCost",
+    "CATEGORIES",
+    "breakdown_totals",
+    "cache_cost",
+    "dirty_queue_cost",
+    "format_table",
+    "gmean",
+    "hardware_cost_report",
+    "normalized_breakdown",
+    "load_result",
+    "load_results_dir",
+    "nv_array_cost",
+    "plot_csv",
+    "print_figure",
+    "render_all",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
+    "results_dir",
+    "speedup",
+    "sram_array_cost",
+    "suite_gmeans",
+    "write_csv",
+]

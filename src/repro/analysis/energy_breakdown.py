@@ -1,0 +1,44 @@
+"""Energy-consumption breakdown analysis (Figure 13b).
+
+Aggregates per-run :class:`~repro.sim.results.EnergyBreakdown` objects into
+the paper's five categories - cache (read), cache (write), mem (read),
+mem (write), compute - normalized to a baseline design's total.
+"""
+
+from __future__ import annotations
+
+from repro.sim.results import RunResult
+
+CATEGORIES = ("cache_read", "cache_write", "mem_read", "mem_write",
+              "compute")
+
+
+def breakdown_totals(results: list[RunResult]) -> dict[str, float]:
+    """Sum category energies (nJ) across runs, folded to the figure's five
+    categories: checkpoint NVFF energy and the reserve charge discarded at
+    power-off both count toward compute (they are the system-level price of
+    the design's persistence scheme, drawn from the same buffer)."""
+    tot = {c: 0.0 for c in CATEGORIES}
+    for r in results:
+        d = r.energy.as_dict()
+        tot["cache_read"] += d["cache_read"]
+        tot["cache_write"] += d["cache_write"]
+        tot["mem_read"] += d["mem_read"]
+        tot["mem_write"] += d["mem_write"]
+        tot["compute"] += d["compute"] + d["checkpoint"] + d["discarded"]
+    return tot
+
+
+def normalized_breakdown(per_design: dict[str, list[RunResult]],
+                         baseline: str) -> dict[str, dict[str, float]]:
+    """Per-design category percentages, normalized to the baseline total.
+
+    Returns ``{design: {category: percent}}``; the baseline's categories
+    sum to 100.
+    """
+    totals = {d: breakdown_totals(rs) for d, rs in per_design.items()}
+    base_total = sum(totals[baseline].values())
+    out = {}
+    for design, cats in totals.items():
+        out[design] = {c: 100.0 * v / base_total for c, v in cats.items()}
+    return out

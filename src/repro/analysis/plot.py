@@ -1,0 +1,314 @@
+"""Dependency-free SVG charts for the benchmark CSVs.
+
+matplotlib is unavailable in the reproduction environment, so this module
+renders the two chart shapes the paper uses - grouped bar charts
+(Figs. 4-9, 11-13) and line charts (Fig. 10) - as standalone SVG files
+from the CSVs the benches emit::
+
+    python -m repro plot results/fig05_trace1.csv
+    python -m repro plot results/fig10b_capacitor.csv --kind line --log-y
+
+The renderer is intentionally small: categorical x-axis from the first CSV
+column, one series per remaining numeric column, auto-scaled y-axis with
+ticks, legend, and value-safe handling of gaps ('DNF', empty cells).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: categorical palette (colorblind-safe Okabe-Ito)
+PALETTE = ("#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7",
+           "#56B4E9", "#F0E442", "#000000")
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 16, 34, 72
+
+
+@dataclass
+class ChartData:
+    """Parsed chart input: categories on x, named numeric series on y."""
+
+    title: str
+    categories: list[str]
+    series: dict[str, list[float | None]] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if not self.categories:
+            raise ConfigError("chart needs at least one category")
+        if not self.series:
+            raise ConfigError("chart needs at least one series")
+        for name, vals in self.series.items():
+            if len(vals) != len(self.categories):
+                raise ConfigError(
+                    f"series {name!r} has {len(vals)} values for "
+                    f"{len(self.categories)} categories")
+
+    def value_range(self) -> tuple[float, float]:
+        vals = [v for s in self.series.values() for v in s if v is not None]
+        if not vals:
+            raise ConfigError("chart has no numeric values")
+        return (min(vals), max(vals))
+
+
+def read_csv(path: str, max_rows: int | None = None) -> ChartData:
+    """Parse a bench CSV: first column = category, the rest = series.
+
+    Non-numeric cells ('DNF', blanks) become gaps. Aggregate rows
+    (categories starting with 'gmean') are kept - pass ``max_rows`` to
+    truncate long per-app tables.
+    """
+    with open(path) as f:
+        header = f.readline().strip().split(",")
+        if len(header) < 2:
+            raise ConfigError(f"{path}: need >= 2 columns")
+        categories: list[str] = []
+        columns: dict[str, list[float | None]] = {h: [] for h in header[1:]}
+        for line in f:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            cells = line.split(",")
+            categories.append(cells[0])
+            for name, cell in zip(header[1:], cells[1:len(header)]):
+                try:
+                    columns[name].append(float(cell))
+                except ValueError:
+                    columns[name].append(None)
+            for name in header[1 + len(cells[1:]):]:
+                columns[name].append(None)
+    if max_rows is not None:
+        categories = categories[:max_rows]
+        columns = {k: v[:max_rows] for k, v in columns.items()}
+    # drop all-gap series (e.g. text columns)
+    series = {k: v for k, v in columns.items()
+              if any(x is not None for x in v)}
+    title = os.path.splitext(os.path.basename(path))[0]
+    data = ChartData(title, categories, series)
+    data.validate()
+    return data
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / max(1, n)))
+    for mult in (1, 2, 2.5, 5, 10, 20):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 1e-12:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+class _Svg:
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+        self.parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            f'font-family="Helvetica,Arial,sans-serif">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+        ]
+
+    def line(self, x1, y1, x2, y2, color="#333", width=1.0, dash=None):
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{d}/>')
+
+    def rect(self, x, y, w, h, color):
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{color}"/>')
+
+    def circle(self, x, y, r, color):
+        self.parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{color}"/>')
+
+    def text(self, x, y, s, size=11, anchor="middle", color="#222",
+             rotate=None):
+        t = (f' transform="rotate({rotate} {x:.1f} {y:.1f})"'
+             if rotate else "")
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}"{t}>{_esc(s)}</text>')
+
+    def polyline(self, points, color, width=1.8):
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"/>')
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"])
+
+
+def _chart_frame(data: ChartData, width: int, height: int, log_y: bool,
+                 baseline: float | None):
+    svg = _Svg(width, height)
+    lo, hi = data.value_range()
+    if log_y:
+        if lo <= 0:
+            raise ConfigError("log-y needs positive values")
+        lo_t, hi_t = math.log10(lo), math.log10(hi)
+        pad = 0.05 * max(1e-9, hi_t - lo_t)
+        lo_t -= pad
+        hi_t += pad
+    else:
+        lo_t = min(0.0, lo)
+        hi_t = hi * 1.08
+
+    x0, x1 = _MARGIN_L, width - _MARGIN_R
+    y0, y1 = height - _MARGIN_B, _MARGIN_T
+
+    def ty(v: float) -> float:
+        t = math.log10(v) if log_y else v
+        return y0 + (t - lo_t) / (hi_t - lo_t) * (y1 - y0)
+
+    # axes + ticks
+    svg.line(x0, y0, x1, y0)
+    svg.line(x0, y0, x0, y1)
+    ticks = ([10 ** t for t in _nice_ticks(lo_t, hi_t, 4)] if log_y
+             else _nice_ticks(lo_t, hi_t, 5))
+    for tick in ticks:
+        if log_y and (tick <= 0):
+            continue
+        y = ty(tick)
+        if y > y0 or y < y1:
+            continue
+        svg.line(x0 - 3, y, x1, y, color="#ddd", width=0.6)
+        label = f"{tick:g}"
+        svg.text(x0 - 6, y + 3.5, label, size=10, anchor="end")
+    if baseline is not None and (lo_t < baseline < hi_t or log_y):
+        svg.line(x0, ty(baseline), x1, ty(baseline), color="#c00",
+                 width=0.8, dash="4,3")
+    svg.text(width / 2, 18, data.title, size=13)
+    return svg, (x0, x1, y0, y1), ty
+
+
+def _legend(svg, names, x1):
+    lx = _MARGIN_L
+    ly = svg.height - 14
+    for i, name in enumerate(names):
+        color = PALETTE[i % len(PALETTE)]
+        svg.rect(lx, ly - 8, 9, 9, color)
+        svg.text(lx + 13, ly, name, size=10, anchor="start")
+        lx += 13 + 7 * len(name) + 18
+
+
+def render_bar_chart(data: ChartData, width: int = 900, height: int = 380,
+                     baseline: float | None = 1.0) -> str:
+    """Grouped bar chart; a dashed line marks the baseline (speedup 1.0)."""
+    data.validate()
+    svg, (x0, x1, y0, y1), ty = _chart_frame(data, width, height,
+                                             log_y=False, baseline=baseline)
+    n_cat = len(data.categories)
+    n_ser = len(data.series)
+    slot = (x1 - x0) / n_cat
+    bar_w = max(1.5, 0.8 * slot / n_ser)
+    zero_y = ty(0.0)
+    for ci, cat in enumerate(data.categories):
+        gx = x0 + ci * slot + 0.1 * slot
+        for si, (name, vals) in enumerate(data.series.items()):
+            v = vals[ci]
+            color = PALETTE[si % len(PALETTE)]
+            if v is None:
+                svg.text(gx + si * bar_w + bar_w / 2, zero_y - 4, "x",
+                         size=9, color="#999")
+                continue
+            y = ty(v)
+            svg.rect(gx + si * bar_w, min(y, zero_y), bar_w,
+                     abs(zero_y - y), color)
+        svg.text(x0 + ci * slot + slot / 2, y0 + 12, cat, size=9,
+                 rotate=-35 if n_cat > 8 else None,
+                 anchor="end" if n_cat > 8 else "middle")
+    _legend(svg, list(data.series), x1)
+    return svg.render()
+
+
+def render_line_chart(data: ChartData, width: int = 760, height: int = 380,
+                      log_y: bool = False) -> str:
+    """Line chart over the categorical x-axis (capacitor/cache sweeps)."""
+    data.validate()
+    svg, (x0, x1, y0, y1), ty = _chart_frame(data, width, height,
+                                             log_y=log_y, baseline=None)
+    n_cat = len(data.categories)
+    xs = [x0 + (i + 0.5) * (x1 - x0) / n_cat for i in range(n_cat)]
+    for si, (name, vals) in enumerate(data.series.items()):
+        color = PALETTE[si % len(PALETTE)]
+        run: list[tuple[float, float]] = []
+        for x, v in zip(xs, vals):
+            if v is None:
+                if len(run) > 1:
+                    svg.polyline(run, color)
+                run = []
+                continue
+            run.append((x, ty(v)))
+            svg.circle(x, ty(v), 2.6, color)
+        if len(run) > 1:
+            svg.polyline(run, color)
+    for x, cat in zip(xs, data.categories):
+        svg.text(x, y0 + 14, cat, size=10)
+    _legend(svg, list(data.series), x1)
+    return svg.render()
+
+
+def plot_csv(csv_path: str, out_path: str | None = None, kind: str = "bar",
+             log_y: bool = False, max_rows: int | None = None) -> str:
+    """Render a bench CSV to SVG; returns the output path."""
+    if kind not in ("bar", "line"):
+        raise ConfigError(f"kind must be 'bar' or 'line', got {kind!r}")
+    data = read_csv(csv_path, max_rows=max_rows)
+    if kind == "bar":
+        svg = render_bar_chart(data)
+    else:
+        svg = render_line_chart(data, log_y=log_y)
+    out_path = out_path or os.path.splitext(csv_path)[0] + ".svg"
+    with open(out_path, "w") as f:
+        f.write(svg)
+    return out_path
+
+
+#: per-figure rendering hints for batch mode (kind, log-y, row cap)
+BATCH_HINTS = {
+    "fig10a_cache_size": ("line", False),
+    "fig10b_capacitor": ("line", True),
+}
+
+
+def render_all(results_dir: str) -> list[str]:
+    """Render every CSV in a results directory; returns written paths."""
+    written = []
+    for name in sorted(os.listdir(results_dir)):
+        if not name.endswith(".csv"):
+            continue
+        stem = name[:-4]
+        kind, log_y = BATCH_HINTS.get(stem, ("bar", False))
+        try:
+            written.append(plot_csv(os.path.join(results_dir, name),
+                                    kind=kind, log_y=log_y))
+        except ConfigError:
+            continue  # text-only tables (e.g. table2_config) have no series
+    return written

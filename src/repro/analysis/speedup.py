@@ -1,0 +1,40 @@
+"""Speedup math: normalization and geometric means, as the paper reports."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.errors import ConfigError
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper's aggregate for every speedup figure."""
+    vals = list(values)
+    if not vals:
+        raise ConfigError("gmean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ConfigError("gmean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline_time: float, time: float) -> float:
+    """Speedup of `time` relative to `baseline_time` (>1 means faster)."""
+    if time <= 0 or baseline_time <= 0:
+        raise ConfigError("times must be positive")
+    return baseline_time / time
+
+
+def suite_gmeans(per_app: dict[str, float], media: Iterable[str],
+                 mi: Iterable[str]) -> dict[str, float]:
+    """The paper's three aggregates: gmean(Media), gmean(Mi), gmean(Total)."""
+    media_vals = [per_app[a] for a in media if a in per_app]
+    mi_vals = [per_app[a] for a in mi if a in per_app]
+    out = {}
+    if media_vals:
+        out["gmean(Media)"] = gmean(media_vals)
+    if mi_vals:
+        out["gmean(Mi)"] = gmean(mi_vals)
+    if media_vals or mi_vals:
+        out["gmean(Total)"] = gmean(media_vals + mi_vals)
+    return out

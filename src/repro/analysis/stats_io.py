@@ -1,0 +1,94 @@
+"""Serialize run results to JSON for downstream analysis.
+
+`RunResult` carries the final memory image (megabytes of ground truth for
+the checker), which has no place in a stats file; this module extracts the
+reportable statistics, round-trips them through JSON, and can tabulate a
+directory of dumps - the workflow for comparing runs across machines or
+configurations without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import ConfigError
+from repro.sim.results import EnergyBreakdown, PeriodStats, RunResult
+
+_SCALAR_FIELDS = (
+    "program", "design", "trace", "halted", "total_time_ns", "on_time_ns",
+    "off_time_ns", "exec_cycles", "instructions", "outages",
+    "checkpoint_lines_total", "reconfig_count", "maxline_min", "maxline_max",
+    "prediction_accuracy", "dyn_raises", "nvm_reads", "nvm_writes",
+    "read_hits", "read_misses", "write_hits", "write_misses",
+    "store_stall_cycles", "async_writebacks", "dirty_evictions",
+)
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: RunResult, include_periods: bool = True) -> dict:
+    """Extract the reportable statistics of a run (no memory image)."""
+    out = {"format_version": _FORMAT_VERSION}
+    for name in _SCALAR_FIELDS:
+        out[name] = getattr(result, name)
+    out["energy_nj"] = result.energy.as_dict()
+    out["derived"] = {
+        "ipc": result.ipc,
+        "stall_fraction": result.stall_fraction,
+        "avg_dirty_per_period": result.avg_dirty_per_period,
+        "avg_writebacks_per_period": result.avg_writebacks_per_period,
+    }
+    if include_periods:
+        out["periods"] = [
+            {"on_time_ns": p.on_time_ns, "instrs": p.instrs,
+             "dirty_highwater": p.dirty_highwater,
+             "async_writebacks": p.async_writebacks, "maxline": p.maxline}
+            for p in result.periods
+        ]
+    return out
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Rebuild a (stats-only) RunResult from :func:`result_to_dict` output."""
+    if data.get("format_version") != _FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported stats format {data.get('format_version')!r}")
+    result = RunResult(program=data["program"], design=data["design"],
+                       trace=data["trace"])
+    for name in _SCALAR_FIELDS:
+        setattr(result, name, data[name])
+    e = data["energy_nj"]
+    result.energy = EnergyBreakdown(
+        cache_read_nj=e["cache_read"], cache_write_nj=e["cache_write"],
+        mem_read_nj=e["mem_read"], mem_write_nj=e["mem_write"],
+        compute_nj=e["compute"], checkpoint_nj=e["checkpoint"],
+        discarded_nj=e.get("discarded", 0.0))
+    for p in data.get("periods", []):
+        result.periods.append(PeriodStats(
+            on_time_ns=p["on_time_ns"], instrs=p["instrs"],
+            dirty_highwater=p["dirty_highwater"],
+            async_writebacks=p["async_writebacks"], maxline=p["maxline"]))
+    return result
+
+
+def save_result(result: RunResult, path: str,
+                include_periods: bool = True) -> str:
+    """Write one run's statistics as JSON; returns the path."""
+    with open(path, "w") as f:
+        json.dump(result_to_dict(result, include_periods), f, indent=1)
+    return path
+
+
+def load_result(path: str) -> RunResult:
+    with open(path) as f:
+        return result_from_dict(json.load(f))
+
+
+def load_results_dir(directory: str) -> list[RunResult]:
+    """Load every ``*.json`` stats dump in a directory."""
+    out = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            out.append(load_result(os.path.join(directory, name)))
+    return out

@@ -1,0 +1,60 @@
+"""ASCII table rendering and CSV emission for the benchmark harness.
+
+Every bench prints its figure/table as rows (the same series the paper
+plots) and writes a CSV under ``results/`` for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 float_fmt: str = "{:.3f}") -> str:
+    """Render an aligned ASCII table."""
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    srows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in srows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def results_dir() -> str:
+    """The repo's results directory (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    path = os.path.join(here, "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_csv(name: str, headers: Sequence[str],
+              rows: Iterable[Sequence]) -> str:
+    """Write rows to ``results/<name>.csv``; returns the path."""
+    path = os.path.join(results_dir(), f"{name}.csv")
+    with open(path, "w") as f:
+        f.write(",".join(headers) + "\n")
+        for row in rows:
+            f.write(",".join(str(v) for v in row) + "\n")
+    return path
+
+
+def print_figure(title: str, headers: Sequence[str],
+                 rows: list[Sequence], csv_name: str | None = None) -> None:
+    """Print a figure's data table and optionally persist it as CSV."""
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))
+    if csv_name:
+        path = write_csv(csv_name, headers, rows)
+        print(f"[csv: {path}]")

@@ -1,0 +1,17 @@
+"""repro.caches - baseline cache designs from the paper's Figure 1."""
+
+from repro.caches.base import CachedMemorySystem
+from repro.caches.nvcache import NVCacheWB
+from repro.caches.nvsram import NVSRAMIdeal
+from repro.caches.params import CacheParams
+from repro.caches.replay import ReplayCache
+from repro.caches.vcache_wt import VCacheWT
+
+__all__ = [
+    "CacheParams",
+    "CachedMemorySystem",
+    "NVCacheWB",
+    "NVSRAMIdeal",
+    "ReplayCache",
+    "VCacheWT",
+]

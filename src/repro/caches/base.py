@@ -1,0 +1,145 @@
+"""Shared machinery for data-holding cache designs.
+
+:class:`CachedMemorySystem` implements the memory-system protocol of
+:mod:`repro.mem.memsys` on top of a :class:`~repro.mem.setassoc.SetAssocArray`
+backed by :class:`~repro.mem.nvm.NVMainMemory`. Designs override the store
+policy and the checkpoint/boot protocol.
+"""
+
+from __future__ import annotations
+
+from repro.caches.params import CacheParams
+from repro.mem.memsys import FlushReport, MemStats
+from repro.mem.nvm import NVMainMemory
+from repro.mem.setassoc import LRU, CacheGeometry, CacheLine, SetAssocArray
+
+_FULL = 0xFFFFFFFF
+
+
+class CachedMemorySystem:
+    """Base for all cache designs; implements loads, fills and evictions.
+
+    Subclasses implement ``store``/``store_masked`` (the write policy - the
+    whole point of the paper) and the persistence protocol methods.
+    """
+
+    name = "cache"
+    #: True when cache contents are lost at power failure.
+    volatile_cache = True
+    #: Latency charged for a dirty-victim write-back. Real hierarchies post
+    #: the victim through a write buffer, so the miss only pays the buffer
+    #: handoff, not the full NVM line write (energy is still charged).
+    posted_evict_cycles = 12
+
+    def __init__(self, nvm: NVMainMemory, geometry: CacheGeometry,
+                 replacement: str = LRU, params: CacheParams | None = None):
+        self.nvm = nvm
+        self.geometry = geometry
+        self.params = params or CacheParams()
+        self.array = SetAssocArray(geometry, replacement)
+        self.stats = MemStats()
+        p = self.params
+        lru = replacement == LRU
+        self._e_read = p.read_energy_nj + (p.lru_extra_energy_nj if lru else 0.0)
+        self._e_write = p.write_energy_nj + (p.lru_extra_energy_nj if lru else 0.0)
+        self._wpl = geometry.words_per_line
+        self._line_mask = ~(geometry.line_bytes - 1)
+        self._word_mask = geometry.words_per_line - 1
+
+    # ------------------------------------------------------------------
+    # fill/evict plumbing
+    # ------------------------------------------------------------------
+    def _evict(self, line: CacheLine, now: int) -> int:
+        """Write back a dirty victim; returns cycles. Hook for designs."""
+        if line.dirty:
+            self.stats.dirty_evictions += 1
+            addr = self.array.line_addr(line)
+            self.nvm.write_line(addr, line.data)
+            self._note_dirty_evicted(line.tag, now)
+            return self.posted_evict_cycles
+        return 0
+
+    def _note_dirty_evicted(self, lineno: int, now: int) -> None:
+        """Called when a dirty line leaves the cache (WL-Cache tracks
+        stale DirtyQueue entries through this)."""
+
+    def _fill(self, addr: int, now: int) -> tuple[CacheLine, int]:
+        """Miss path: evict the victim and fetch the line from NVM."""
+        victim = self.array.victim(addr)
+        cycles = 0
+        if victim.valid:
+            cycles += self._evict(victim, now)
+        data, fetch_cycles = self.nvm.read_line(addr & self._line_mask, self._wpl)
+        line = self.array.install(addr, data)
+        return (line, cycles + fetch_cycles)
+
+    # ------------------------------------------------------------------
+    # protocol: loads are shared by every design
+    # ------------------------------------------------------------------
+    def load(self, addr: int, now: int) -> tuple[int, int]:
+        self.stats.loads += 1
+        self.stats.cache_read_energy_nj += self._e_read
+        line = self.array.find(addr)
+        if line is not None:
+            self.stats.read_hits += 1
+            return (line.data[(addr >> 2) & self._word_mask],
+                    self.params.hit_read_cycles)
+        self.stats.read_misses += 1
+        line, cycles = self._fill(addr, now)
+        return (line.data[(addr >> 2) & self._word_mask],
+                cycles + self.params.hit_read_cycles)
+
+    # stores are design-specific ----------------------------------------
+    def store(self, addr: int, value: int, now: int) -> int:
+        raise NotImplementedError
+
+    def store_masked(self, addr: int, bits: int, mask: int, now: int) -> int:
+        raise NotImplementedError
+
+    # persistence protocol ------------------------------------------------
+    def reserve_lines(self) -> int:
+        return 0
+
+    def checkpoint_line_energy_nj(self) -> float:
+        """Energy to persist one line during a JIT checkpoint.
+
+        Default: a line write to main NVM (WL-Cache's path). NVSRAM
+        overrides this with its cheaper adjacent-shadow copy.
+        """
+        return self.geometry.words_per_line * self.nvm.timings.write_energy_nj
+
+    def reserve_extra_energy_nj(self) -> float:
+        """Reserve energy beyond line flushes (e.g. persist-queue drains)."""
+        return 0.0
+
+    def flush_for_checkpoint(self, now: int) -> FlushReport:
+        return FlushReport()
+
+    def on_power_loss(self) -> None:
+        if self.volatile_cache:
+            self.array.invalidate_all()
+
+    def on_boot(self, first: bool) -> int:
+        return 0
+
+    def finalize(self, now: int) -> int:
+        """Drain dirty lines at program completion; returns cycles.
+
+        The drain goes through the posted write buffer (energy charged,
+        latency amortized) - designs with a non-volatile backing (NVCache's
+        own array, NVSRAM's shadow) would not even need this at run time;
+        the write-out exists so the final NVM image is checkable.
+        """
+        cycles = 0
+        for line in self.array.dirty_lines():
+            self.nvm.write_line(self.array.line_addr(line), line.data)
+            cycles += self.posted_evict_cycles
+            line.dirty = False
+        return cycles
+
+    def leakage_w(self) -> float:
+        return self.params.leakage_w
+
+    # helpers -------------------------------------------------------------
+    def _merged(self, old: int, bits: int, mask: int) -> int:
+        return (old & ~mask) | (bits & mask)

@@ -1,0 +1,41 @@
+"""NVCache-WB: fully non-volatile write-back cache (Figure 1(c)).
+
+The cache array itself is NVM (e.g. nvSRAM/FRAM), so contents survive power
+failure - no JIT checkpointing of the cache is needed and reboots resume
+with a warm cache. The price is slow, energy-hungry hits on every access
+(and slow non-volatile instruction fetch, modeled by the core's
+``ifetch_extra``), which is why the paper finds it slowest overall.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import CachedMemorySystem
+
+_FULL = 0xFFFFFFFF
+
+
+class NVCacheWB(CachedMemorySystem):
+    name = "NVCache-WB"
+    volatile_cache = False
+
+    def store(self, addr: int, value: int, now: int) -> int:
+        return self.store_masked(addr, value, _FULL, now)
+
+    def store_masked(self, addr: int, bits: int, mask: int, now: int) -> int:
+        self.stats.stores += 1
+        self.stats.cache_write_energy_nj += self._e_write
+        line = self.array.find(addr)
+        cycles = 0
+        if line is None:
+            self.stats.write_misses += 1
+            line, cycles = self._fill(addr, now)
+        else:
+            self.stats.write_hits += 1
+        widx = (addr >> 2) & self._word_mask
+        line.data[widx] = self._merged(line.data[widx], bits, mask)
+        line.dirty = True
+        return cycles + self.params.hit_write_cycles
+
+    # contents are non-volatile: nothing to checkpoint, nothing lost.
+    def on_power_loss(self) -> None:
+        pass

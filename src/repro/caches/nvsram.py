@@ -1,0 +1,83 @@
+"""NVSRAM(ideal): volatile SRAM write-back cache with an NVM shadow
+(Figure 1(d)); the paper's baseline.
+
+At runtime it is a plain SRAM write-back cache - the fastest design when
+power is stable. On an imminent power failure it "magically" checkpoints
+exactly the dirty lines into the same-size NVM counterpart; at reboot it
+restores them, resuming with a *warm* cache (dirty state preserved).
+
+Its weakness is the energy reserve: since in the worst case every line may
+be dirty, ``Vbackup`` must budget for checkpointing the entire cache, which
+shrinks the per-on-period compute window under frequent outages.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import CachedMemorySystem
+from repro.mem.memsys import FlushReport
+
+_FULL = 0xFFFFFFFF
+
+
+class NVSRAMIdeal(CachedMemorySystem):
+    name = "NVSRAM(ideal)"
+    volatile_cache = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # checkpointed (lineno, data, dirty) tuples awaiting restore
+        self._backup: list[tuple[int, list[int], bool]] = []
+
+    def store(self, addr: int, value: int, now: int) -> int:
+        return self.store_masked(addr, value, _FULL, now)
+
+    def store_masked(self, addr: int, bits: int, mask: int, now: int) -> int:
+        self.stats.stores += 1
+        self.stats.cache_write_energy_nj += self._e_write
+        line = self.array.find(addr)
+        cycles = 0
+        if line is None:
+            self.stats.write_misses += 1
+            line, cycles = self._fill(addr, now)
+        else:
+            self.stats.write_hits += 1
+        widx = (addr >> 2) & self._word_mask
+        line.data[widx] = self._merged(line.data[widx], bits, mask)
+        line.dirty = True
+        return cycles + self.params.hit_write_cycles
+
+    # persistence protocol -------------------------------------------------
+    def reserve_lines(self) -> int:
+        # worst case: the whole cache is dirty (the paper's key critique)
+        return self.geometry.n_lines
+
+    def checkpoint_line_energy_nj(self) -> float:
+        # SRAM line -> adjacent non-volatile shadow: cheaper per line than a
+        # main-NVM write, but reserved for *every* line of the cache
+        return self.params.ckpt_line_energy_nj
+
+    def flush_for_checkpoint(self, now: int) -> FlushReport:
+        report = FlushReport()
+        self._backup = []
+        for line in self.array.dirty_lines():
+            self._backup.append((line.tag, list(line.data), True))
+            report.lines_flushed += 1
+            report.words_flushed += len(line.data)
+            report.cycles += self.params.ckpt_line_cycles
+            report.extra_energy_nj += self.params.ckpt_line_energy_nj
+        # the backup energy is an SRAM->shadow transfer; report it as cache
+        # write energy for the Fig. 13b breakdown
+        self.stats.cache_write_energy_nj += report.extra_energy_nj
+        return report
+
+    def on_boot(self, first: bool) -> int:
+        cycles = 0
+        for lineno, data, dirty in self._backup:
+            line = self.array.install(lineno << self.geometry.line_shift, data)
+            line.dirty = dirty
+            cycles += self.params.restore_line_cycles
+            # shadow -> SRAM copy energy, drawn from the fresh charge
+            self.stats.cache_write_energy_nj += (
+                self.params.restore_line_energy_nj)
+        self._backup = []
+        return cycles

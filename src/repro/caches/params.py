@@ -1,0 +1,54 @@
+"""Per-design cache timing/energy parameters.
+
+Two stock parameter sets mirror Table 2: SRAM arrays (0.3 ns hits -> 1 core
+cycle) and NVM (ReRAM) arrays (1.6 ns hits -> 2+ cycles, higher energy,
+higher leakage). Exact constants live in :mod:`repro.sim.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Timing and energy of one cache array.
+
+    Attributes:
+        hit_read_cycles: Core cycles for a read hit.
+        hit_write_cycles: Core cycles for a write hit.
+        read_energy_nj: Dynamic energy per read access.
+        write_energy_nj: Dynamic energy per write access.
+        lru_extra_energy_nj: Extra bookkeeping energy per access when the
+            array uses LRU replacement (the paper's §6.5 effect).
+        leakage_w: Static leakage power of the array while powered.
+        ckpt_line_cycles: Cycles to checkpoint one line to the design's
+            backup medium (NVSRAM's adjacent ReRAM; unused by designs that
+            checkpoint to main NVM, which pay NVM line-write time instead).
+        ckpt_line_energy_nj: Energy to checkpoint one line to the backup
+            medium.
+        restore_line_cycles: Cycles to restore one line at reboot.
+        restore_line_energy_nj: Energy per restored line at reboot (a read
+            from the shadow is cheaper than the checkpoint write).
+    """
+
+    hit_read_cycles: int = 1
+    hit_write_cycles: int = 1
+    read_energy_nj: float = 0.02
+    write_energy_nj: float = 0.02
+    lru_extra_energy_nj: float = 0.01
+    leakage_w: float = 0.0004
+    ckpt_line_cycles: int = 10
+    ckpt_line_energy_nj: float = 8.0
+    restore_line_cycles: int = 10
+    restore_line_energy_nj: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.hit_read_cycles < 0 or self.hit_write_cycles < 0:
+            raise ConfigError("hit cycles must be >= 0")
+        if min(self.read_energy_nj, self.write_energy_nj,
+               self.lru_extra_energy_nj, self.leakage_w,
+               self.ckpt_line_energy_nj) < 0:
+            raise ConfigError("energies must be >= 0")

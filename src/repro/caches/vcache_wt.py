@@ -1,0 +1,37 @@
+"""VCache-WT: volatile SRAM write-through cache (Figure 1(b)).
+
+Every store synchronously updates both the cache (if the line is present)
+and NVM, so the cache never holds dirty lines and crash consistency is free.
+Stores pay the full NVM word-write latency; loads enjoy SRAM hits. Store
+misses do not allocate (conventional write-through/no-write-allocate).
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import CachedMemorySystem
+
+_FULL = 0xFFFFFFFF
+
+
+class VCacheWT(CachedMemorySystem):
+    name = "VCache-WT"
+    volatile_cache = True
+
+    def store(self, addr: int, value: int, now: int) -> int:
+        return self.store_masked(addr, value, _FULL, now)
+
+    def store_masked(self, addr: int, bits: int, mask: int, now: int) -> int:
+        self.stats.stores += 1
+        line = self.array.find(addr)
+        cycles = 0
+        if line is not None:
+            self.stats.write_hits += 1
+            self.stats.cache_write_energy_nj += self._e_write
+            widx = (addr >> 2) & self._word_mask
+            line.data[widx] = self._merged(line.data[widx], bits, mask)
+            cycles += self.params.hit_write_cycles
+        else:
+            self.stats.write_misses += 1
+        # the synchronous NVM write dominates the store's latency
+        cycles += self.nvm.write_word_masked(addr, bits, mask)
+        return cycles

@@ -1,0 +1,148 @@
+"""The §3.3 alternative: a write-through cache with a write-back buffer.
+
+The paper discusses (and rejects) this design as a strawman for WL-Cache:
+a WTCache whose stores go into a coalescing write buffer that drains to
+NVM asynchronously. The paper's three criticisms are all modeled here:
+
+1. **CAM search cost** - every load must search the buffer (store-to-load
+   forwarding), charged per access; it also lengthens the load *miss* path.
+2. **Energy reserve** - the whole buffer must be drainable at power
+   failure, so the reserve scales with the buffer depth.
+3. **Critical path** - the CAM probe adds latency to every memory access.
+
+It is crash-consistent (the buffer is drained by JIT checkpointing) and is
+included in the ablation bench to reproduce the paper's argument that
+WL-Cache's decoupled metadata (DirtyQueue) is the better structure.
+"""
+
+from __future__ import annotations
+
+from repro.caches.vcache_wt import VCacheWT
+from repro.mem.memsys import FlushReport
+
+_FULL = 0xFFFFFFFF
+
+
+class _BufferEntry:
+    __slots__ = ("addr", "value", "mask", "ack")
+
+    def __init__(self, addr: int, value: int, mask: int, ack: int):
+        self.addr = addr
+        self.value = value
+        self.mask = mask
+        self.ack = ack
+
+
+class WTBufferCache(VCacheWT):
+    """Write-through cache + CAM write buffer (the paper's §3.3 strawman)."""
+
+    name = "WT+Buffer"
+
+    def __init__(self, *args, buffer_depth: int = 8,
+                 cam_probe_cycles: int = 1,
+                 cam_probe_energy_nj: float = 0.03, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.buffer_depth = buffer_depth
+        self.cam_probe_cycles = cam_probe_cycles
+        self.cam_probe_energy_nj = cam_probe_energy_nj
+        self._buffer: list[_BufferEntry] = []
+        self._channel_free = 0
+        self.forwards = 0
+
+    # ------------------------------------------------------------------
+    def _drain_ready(self, now: int) -> None:
+        buf = self._buffer
+        while buf and buf[0].ack <= now:
+            e = buf.pop(0)
+            self.nvm.write_word_masked(e.addr, e.value, e.mask)
+
+    def _drain_all(self, now: int) -> int:
+        """Drain everything (checkpoint/finalize); returns wait cycles."""
+        wait = max((e.ack for e in self._buffer), default=now) - now
+        for e in self._buffer:
+            self.nvm.write_word_masked(e.addr, e.value, e.mask)
+        self._buffer.clear()
+        return max(0, wait)
+
+    # ------------------------------------------------------------------
+    def load(self, addr: int, now: int) -> tuple[int, int]:
+        self._drain_ready(now)
+        # CAM probe on the critical path of EVERY load (§3.3 issue 3)
+        self.stats.cache_read_energy_nj += self.cam_probe_energy_nj
+        value, cycles = super().load(addr, now)
+        cycles += self.cam_probe_cycles
+        # a line refilled from NVM may be stale wherever the buffer holds
+        # newer words: patch the cached copy from matching entries
+        line = self.array.peek(addr)
+        if line is not None and self._buffer:
+            base = self.array.line_addr(line)
+            top = base + self.geometry.line_bytes
+            for e in self._buffer:
+                if base <= e.addr < top:
+                    widx = (e.addr >> 2) & self._word_mask
+                    line.data[widx] = self._merged(line.data[widx],
+                                                   e.value, e.mask)
+            value = line.data[(addr >> 2) & self._word_mask]
+            return (value, cycles)
+        # uncached load: forward from the newest matching entry
+        for e in reversed(self._buffer):
+            if e.addr == addr:
+                value = (value & ~e.mask) | (e.value & e.mask)
+                self.forwards += 1
+                break
+        return (value, cycles)
+
+    def store(self, addr: int, value: int, now: int) -> int:
+        return self.store_masked(addr, value, _FULL, now)
+
+    def store_masked(self, addr: int, bits: int, mask: int, now: int) -> int:
+        self._drain_ready(now)
+        self.stats.stores += 1
+        self.stats.cache_write_energy_nj += (self._e_write
+                                             + self.cam_probe_energy_nj)
+        cycles = self.cam_probe_cycles
+        line = self.array.find(addr)
+        if line is not None:
+            self.stats.write_hits += 1
+            widx = (addr >> 2) & self._word_mask
+            line.data[widx] = self._merged(line.data[widx], bits, mask)
+            cycles += self.params.hit_write_cycles
+        else:
+            self.stats.write_misses += 1
+        # coalesce with an existing entry for the same word
+        for e in reversed(self._buffer):
+            if e.addr == addr:
+                e.value = (e.value & ~mask) | (bits & mask)
+                e.mask |= mask
+                return cycles
+        if len(self._buffer) >= self.buffer_depth:
+            # buffer full: stall until the oldest entry drains
+            stall = max(0, self._buffer[0].ack - (now + cycles))
+            cycles += stall
+            self.stats.store_stall_cycles += stall
+            e = self._buffer.pop(0)
+            self.nvm.write_word_masked(e.addr, e.value, e.mask)
+        ack = (max(now + cycles, self._channel_free)
+               + self.nvm.timings.write_word)
+        self._channel_free = ack
+        self._buffer.append(_BufferEntry(addr, bits, mask, ack))
+        self.stats.async_writebacks += 1
+        return cycles
+
+    # persistence ---------------------------------------------------------
+    def reserve_extra_energy_nj(self) -> float:
+        # must be able to drain a full buffer at power failure (§3.3 issue 2)
+        return self.buffer_depth * self.nvm.timings.write_energy_nj
+
+    def flush_for_checkpoint(self, now: int) -> FlushReport:
+        pending = len(self._buffer)
+        cycles = self._drain_all(now)
+        return FlushReport(words_flushed=pending, cycles=cycles)
+
+    def on_power_loss(self) -> None:
+        super().on_power_loss()
+        self._buffer.clear()
+        self._channel_free = 0
+
+    def finalize(self, now: int) -> int:
+        return self._drain_all(now) + super().finalize(now)

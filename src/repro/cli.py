@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run <workload>`` - simulate one workload on one design under one power
+  condition and print the run summary (optionally verifying consistency).
+* ``compare <workload>`` - run every design on one workload and print
+  normalized speedups.
+* ``list`` - list available workloads, designs, and traces.
+
+Examples::
+
+    python -m repro run sha --design WL-Cache --trace trace1
+    python -m repro run qsort --trace trace2 --maxline 4 --static
+    python -m repro compare adpcmencode --trace trace2
+    python -m repro plot results/fig05_trace1.csv
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.speedup import speedup
+from repro.analysis.tables import format_table
+from repro.energy.synthetic import TRACE_FACTORIES
+from repro.sim.config import BASELINE_DESIGN, DESIGNS
+from repro.sim.factory import build_system
+from repro.verify.checker import check_crash_consistency
+from repro.workloads import ALL_WORKLOADS, build_workload
+
+ALL_DESIGNS = DESIGNS + ("NoCache", "NVSRAM(full)", "NVSRAM(practical)",
+                         "WT+Buffer", "WL-Cache(eager)")
+
+
+def _add_sim_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, choices=sorted(TRACE_FACTORIES),
+                   help="power trace (default: no power failures)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload size multiplier")
+    p.add_argument("--maxline", type=int, default=None)
+    p.add_argument("--dq-policy", choices=("fifo", "lru"), default=None)
+    p.add_argument("--static", action="store_true",
+                   help="disable adaptive threshold management")
+    p.add_argument("--dynamic", action="store_true",
+                   help="enable dynamic (run-time) maxline raising")
+    p.add_argument("--capacitor-uf", type=float, default=None,
+                   help="energy buffer size in microfarads")
+    p.add_argument("--seed", type=int, default=None, help="trace seed")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the crash-consistency check")
+    p.add_argument("--stats-json", default=None, metavar="PATH",
+                   help="dump run statistics as JSON")
+
+
+def _overrides(args) -> dict:
+    out: dict = {}
+    if args.maxline is not None:
+        out["maxline"] = args.maxline
+    if args.dq_policy is not None:
+        out["dq_policy"] = args.dq_policy
+    if args.static:
+        out["adaptive"] = False
+    if args.dynamic:
+        out["dynamic"] = True
+    if args.capacitor_uf is not None:
+        out["capacitance_f"] = args.capacitor_uf * 1e-6
+    if args.seed is not None:
+        out["trace_seed"] = args.seed
+    return out
+
+
+def _run_once(program, design, args):
+    system = build_system(program, design, trace=args.trace,
+                          **_overrides(args))
+    result = system.run()
+    if not args.no_verify:
+        check_crash_consistency(program, result)
+    return system, result
+
+
+def cmd_run(args) -> int:
+    program = build_workload(args.workload, args.scale)
+    system, result = _run_once(program, args.design, args)
+    print(result.summary())
+    print(f"Vbackup {system.v_backup:.3f} V | Von {system.v_on:.3f} V | "
+          f"reserve {system.reserve_nj:.0f} nJ")
+    print(f"outages {result.outages} | off-time "
+          f"{result.off_time_ns / 1e3:.1f} us | "
+          f"NVM writes {result.nvm_writes} words | "
+          f"energy {result.energy.total_nj / 1e3:.1f} uJ")
+    if result.reconfig_count:
+        print(f"adaptive: {result.reconfig_count} reconfigs, maxline "
+              f"{result.maxline_min}..{result.maxline_max}, accuracy "
+              f"{result.prediction_accuracy:.2f}")
+    if not args.no_verify:
+        print("crash consistency: verified against the failure-free oracle")
+    if args.stats_json:
+        from repro.analysis.stats_io import save_result
+        print(f"stats written to {save_result(result, args.stats_json)}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    program = build_workload(args.workload, args.scale)
+    rows = []
+    results = {}
+    for design in args.designs:
+        _, results[design] = _run_once(program, design, args)
+    base = results.get(BASELINE_DESIGN) or next(iter(results.values()))
+    for design, res in results.items():
+        rows.append([design, f"{res.total_time_ns / 1e3:.1f}",
+                     res.outages, speedup(base.total_time_ns,
+                                          res.total_time_ns)])
+    cond = args.trace or "no failure"
+    print(f"{args.workload} under {cond} (speedup vs {BASELINE_DESIGN}):")
+    print(format_table(["design", "time us", "outages", "speedup"], rows))
+    return 0
+
+
+def cmd_plot(args) -> int:
+    import os
+
+    from repro.analysis.plot import plot_csv, render_all
+    if os.path.isdir(args.csv):
+        for out in render_all(args.csv):
+            print(f"wrote {out}")
+        return 0
+    out = plot_csv(args.csv, args.out, kind=args.kind, log_y=args.log_y,
+                   max_rows=args.max_rows)
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_list(args) -> int:
+    print("workloads:", ", ".join(ALL_WORKLOADS))
+    print("designs:  ", ", ".join(ALL_DESIGNS))
+    print("traces:   ", ", ".join(sorted(TRACE_FACTORIES)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="WL-Cache (ISCA'23) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("workload", choices=ALL_WORKLOADS)
+    p_run.add_argument("--design", default="WL-Cache", choices=ALL_DESIGNS)
+    _add_sim_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare designs on one workload")
+    p_cmp.add_argument("workload", choices=ALL_WORKLOADS)
+    p_cmp.add_argument("--designs", nargs="+", default=list(DESIGNS),
+                       choices=ALL_DESIGNS)
+    _add_sim_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_plot = sub.add_parser("plot", help="render a bench CSV to SVG")
+    p_plot.add_argument("csv", help="a bench CSV, or a results directory to render everything")
+    p_plot.add_argument("--out", default=None)
+    p_plot.add_argument("--kind", choices=("bar", "line"), default="bar")
+    p_plot.add_argument("--log-y", action="store_true")
+    p_plot.add_argument("--max-rows", type=int, default=None)
+    p_plot.set_defaults(func=cmd_plot)
+
+    p_list = sub.add_parser("list", help="list workloads/designs/traces")
+    p_list.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

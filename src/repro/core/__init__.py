@@ -1,0 +1,16 @@
+"""repro.core - WL-Cache, the paper's contribution."""
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveController
+from repro.core.dirty_queue import DQ_FIFO, DQ_LRU, DirtyQueue
+from repro.core.dynamic import DynamicAdaptation
+from repro.core.wl_cache import WLCache
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "DQ_FIFO",
+    "DQ_LRU",
+    "DirtyQueue",
+    "DynamicAdaptation",
+    "WLCache",
+]

@@ -1,0 +1,130 @@
+"""DirtyQueue: the small hardware structure at the heart of WL-Cache (§3, §5).
+
+The queue tracks the line numbers of cache lines that became dirty. Entries
+may be *stale* (the line was evicted or re-filled since) and may be
+*duplicates* (a line went dirty again while its asynchronous write-back was
+still in flight - the §5.3 clean-first protocol makes this legal by design).
+Both are tolerated and lazily discarded, exactly as the paper specifies, to
+keep the hardware search-free.
+
+Replacement ("cleaning") policies:
+
+* ``fifo`` - clean the oldest entry (the paper's default; the hardware is a
+  circular queue, so the head is free to find).
+* ``lru`` - clean the entry whose cache line was least recently used
+  (requires a search; the energy model charges it extra per operation).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+DQ_FIFO = "fifo"
+DQ_LRU = "lru"
+DQ_POLICIES = (DQ_FIFO, DQ_LRU)
+
+
+class DQEntry:
+    """One DirtyQueue slot.
+
+    ``in_flight`` marks entries whose line is being written back
+    asynchronously; they stay in the queue until the ACK arrives (§5.3
+    step 4) so JIT checkpointing always covers them.
+    """
+
+    __slots__ = ("lineno", "in_flight", "seq")
+
+    def __init__(self, lineno: int, seq: int):
+        self.lineno = lineno
+        self.in_flight = False
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        flag = "*" if self.in_flight else ""
+        return f"DQEntry(line={self.lineno}{flag})"
+
+
+class DirtyQueue:
+    """Bounded queue of dirty-line addresses with FIFO/LRU cleaning.
+
+    ``capacity`` is the physical queue size (|DirtyQueue|); the *effective*
+    bound enforced at insertion time is ``maxline``, managed by WL-Cache.
+    """
+
+    def __init__(self, capacity: int = 8, policy: str = DQ_FIFO):
+        if capacity < 1:
+            raise ConfigError("DirtyQueue capacity must be >= 1")
+        if policy not in DQ_POLICIES:
+            raise ConfigError(f"unknown DirtyQueue policy {policy!r}")
+        self.capacity = capacity
+        self.policy = policy
+        self.entries: list[DQEntry] = []
+        self._seq = 0
+        # statistics
+        self.inserts = 0
+        self.duplicate_inserts = 0
+        self.stale_drops = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    def is_full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def insert(self, lineno: int) -> DQEntry:
+        """Append an entry for ``lineno`` (caller checks maxline first)."""
+        if self.is_full():
+            raise ConfigError("DirtyQueue overflow: maxline must be <= capacity")
+        self._seq += 1
+        entry = DQEntry(lineno, self._seq)
+        if any(e.lineno == lineno for e in self.entries):
+            self.duplicate_inserts += 1
+        self.entries.append(entry)
+        self.inserts += 1
+        return entry
+
+    def eligible(self) -> list[DQEntry]:
+        """Entries not already being written back."""
+        return [e for e in self.entries if not e.in_flight]
+
+    def select_victim(self, array) -> DQEntry | None:
+        """Pick the next entry to clean per the DQ replacement policy (§5.2).
+
+        Stale entries (line gone or already clean) encountered during
+        selection are dropped, per §5.4's lazy-cleanup rule. Returns None
+        when no eligible dirty entry exists.
+        """
+        while True:
+            candidates = self.eligible()
+            if not candidates:
+                return None
+            if self.policy == DQ_FIFO:
+                chosen = candidates[0]
+            else:
+                # LRU: least-recently-used *cache line* among candidates
+                def use_stamp(e: DQEntry) -> int:
+                    line = array.peek(e.lineno << array.line_shift)
+                    return line.use_stamp if line is not None else -1
+                chosen = min(candidates, key=use_stamp)
+            line = array.peek(chosen.lineno << array.line_shift)
+            if line is None or not line.dirty:
+                # stale (evicted, re-filled, or already cleaned): drop & retry
+                self.entries.remove(chosen)
+                self.stale_drops += 1
+                continue
+            return chosen
+
+    def remove(self, entry: DQEntry) -> None:
+        """Remove a specific entry (on write-back ACK, §5.3 step 4)."""
+        self.entries.remove(entry)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def line_numbers(self) -> list[int]:
+        """Line numbers currently tracked (duplicates included), in order."""
+        return [e.lineno for e in self.entries]

@@ -1,0 +1,45 @@
+"""Opportunistic dynamic maxline adaptation - WL-Cache(dyn), §4.
+
+When the dirty-line count hits maxline, instead of stalling the pipeline,
+the dynamic policy checks the capacitor's residual energy: if there is
+enough to JIT-checkpoint one more line (plus headroom), it raises maxline
+by one and raises Vbackup accordingly, avoiding both the stall and a
+write-back. The paper finds this wins on stable sources (solar/thermal)
+but *loses* on bursty RF traces, where the prematurely raised Vbackup
+wastes hard-won energy across frequent outages - our Figure 13a bench
+reproduces exactly that crossover.
+"""
+
+from __future__ import annotations
+
+
+class DynamicAdaptation:
+    """The ``dynamic_policy`` hook installed on a WL-Cache instance.
+
+    Holds a back-reference to the owning system, which knows how to price a
+    bigger reserve and re-derive Vbackup.
+    """
+
+    def __init__(self, system, headroom_nj: float = 50.0):
+        self.system = system
+        self.headroom_nj = headroom_nj
+        self.raises = 0
+        self.rejections = 0
+
+    def try_raise_maxline(self, wl) -> bool:
+        """Attempt to grow maxline by one; returns True on success."""
+        if wl.maxline >= wl.dq.capacity:
+            self.rejections += 1
+            return False
+        system = self.system
+        new_reserve = system.compute_reserve_nj(wl.maxline + 1)
+        floor_nj = system.capacitor.energy_between(system.capacitor.v_min, 0.0)
+        # residual energy must cover the larger reserve plus headroom to
+        # keep making forward progress after the raise
+        if system.capacitor.energy < floor_nj + new_reserve + self.headroom_nj:
+            self.rejections += 1
+            return False
+        wl.set_thresholds(wl.maxline + 1, wl.waterline)
+        system.update_reserve()
+        self.raises += 1
+        return True

@@ -1,0 +1,55 @@
+"""WL-Cache design-choice variants for ablation (§5.4, §4).
+
+* :class:`EagerCleanupWLCache` - the design §5.4 rejects: on every cache
+  eviction the DirtyQueue is searched and the matching entry removed
+  eagerly. Frees queue slots sooner (fewer stale entries) at the cost of a
+  CAM search per eviction - extra latency and energy the paper chose to
+  avoid by tolerating stale entries.
+
+* :class:`WideWaterlineWLCache` - convenience constructor for waterline-gap
+  sweeps (waterline = maxline - gap); used by the ablation bench that
+  justifies the paper's default gap of 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.wl_cache import WLCache
+from repro.errors import ConfigError
+
+
+class EagerCleanupWLCache(WLCache):
+    """WL-Cache with eager DirtyQueue cleanup on eviction."""
+
+    name = "WL-Cache(eager-cleanup)"
+
+    def __init__(self, *args, dq_search_cycles: int = 2,
+                 dq_search_energy_nj: float = 0.02, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.dq_search_cycles = dq_search_cycles
+        self.dq_search_energy_nj = dq_search_energy_nj
+        self.eager_cleanups = 0
+        self._search_cycles_total = 0
+
+    def _note_dirty_evicted(self, lineno: int, now: int) -> None:
+        # CAM search over the queue (the cost §5.4 avoids) ...
+        self.stats.cache_write_energy_nj += self.dq_search_energy_nj
+        self._search_cycles_total += self.dq_search_cycles
+        # ... then eager removal of entries that would otherwise go stale;
+        # in-flight entries must stay (their snapshot is not yet persisted)
+        for entry in [e for e in self.dq.entries
+                      if e.lineno == lineno and not e.in_flight]:
+            self.dq.remove(entry)
+            self.eager_cleanups += 1
+
+    def _evict(self, line, now: int) -> int:
+        return super()._evict(line, now) + (
+            self.dq_search_cycles if line.dirty else 0)
+
+
+def make_waterline_variant(nvm, geometry, replacement, params,
+                           maxline: int = 6, gap: int = 1, **kwargs) -> WLCache:
+    """WL-Cache with waterline = maxline - gap (gap 0 disables ILP slack)."""
+    if not 0 <= gap <= maxline:
+        raise ConfigError(f"gap must be in 0..maxline, got {gap}")
+    return WLCache(nvm, geometry, replacement, params, maxline=maxline,
+                   waterline=maxline - gap, **kwargs)

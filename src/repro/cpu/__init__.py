@@ -1,0 +1,6 @@
+"""repro.cpu - the in-order core substrate."""
+
+from repro.cpu.core import InOrderCore
+from repro.cpu.costs import CycleCosts
+
+__all__ = ["CycleCosts", "InOrderCore"]

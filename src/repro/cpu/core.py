@@ -1,0 +1,388 @@
+"""Value-accurate in-order interpreter for the repro ISA.
+
+The core executes the guest program instruction by instruction, charging
+cycle costs from :class:`~repro.cpu.costs.CycleCosts` plus whatever latency
+the attached memory system reports for loads/stores. It is *value accurate*:
+register and memory contents are bit-exact 32-bit results, which the
+crash-consistency checker relies on.
+
+The dispatch loop is deliberately a flat ``if/elif`` chain over opcode ints
+with locals hoisted out of the loop - the fastest structure available to
+pure Python, and this loop dominates simulator runtime.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.costs import CycleCosts
+from repro.errors import ExecutionError
+from repro.isa import opcodes as oc
+from repro.isa.program import Program
+
+_U32 = 0xFFFFFFFF
+_SIGN = 0x80000000
+_MOD = 1 << 32
+
+# I-cache geometry: 16 instructions per line. With an 8 KB I-cache of 64 B
+# lines this corresponds to tracking line residency by index.
+_ILINE_SHIFT = 4
+
+
+def _sdiv(a: int, b: int) -> int:
+    """RISC-V signed division semantics on u32 operands."""
+    if b == 0:
+        return _U32
+    sa = a - _MOD if a & _SIGN else a
+    sb = b - _MOD if b & _SIGN else b
+    if sa == -(1 << 31) and sb == -1:
+        return _SIGN
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return q & _U32
+
+
+def _srem(a: int, b: int) -> int:
+    """RISC-V signed remainder semantics on u32 operands."""
+    if b == 0:
+        return a
+    sa = a - _MOD if a & _SIGN else a
+    sb = b - _MOD if b & _SIGN else b
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return r & _U32
+
+
+class InOrderCore:
+    """Single-issue in-order core bound to a program and a memory system.
+
+    The memory system must provide::
+
+        load(addr, now) -> (u32 value, cycles)
+        store(addr, u32 value, now) -> cycles
+        store_masked(addr, bits, mask, now) -> cycles
+
+    where ``addr`` is a word-aligned byte address and ``now`` is the core's
+    absolute cycle counter (used to retire asynchronous write-backs).
+    """
+
+    def __init__(self, program: Program, memsys, costs: CycleCosts | None = None):
+        self.program = program
+        self.memsys = memsys
+        self.costs = costs or CycleCosts()
+        self.regs: list[int] = [0] * 32
+        self.pc = 0
+        self.cycle = 0
+        self.instret = 0
+        self.halted = False
+        self.mem_bytes = program.mem_bytes
+        # I-cache residency (line index set); volatile unless the design
+        # says otherwise - the simulator flushes it on power failure.
+        self.ic_lines: set[int] = set()
+        self.ic_last = -1
+        self.ic_fetches = 0
+        self.ic_misses = 0
+        # per-class retirement counters (for reports)
+        self.n_loads = 0
+        self.n_stores = 0
+        self.n_branches = 0
+
+    # ------------------------------------------------------------------
+    def snapshot_arch_state(self) -> tuple[list[int], int]:
+        """Capture (registers, pc) for JIT checkpointing."""
+        return (list(self.regs), self.pc)
+
+    def restore_arch_state(self, state: tuple[list[int], int]) -> None:
+        regs, pc = state
+        self.regs = list(regs)
+        self.pc = pc
+
+    def flush_icache(self) -> None:
+        self.ic_lines.clear()
+        self.ic_last = -1
+
+    # ------------------------------------------------------------------
+    def run_chunk(self, max_instrs: int) -> tuple[int, int]:
+        """Execute up to ``max_instrs`` instructions; returns (retired, cycles).
+
+        Stops early on HALT. Raises :class:`ExecutionError` on illegal
+        accesses so guest bugs never masquerade as results.
+        """
+        if self.halted:
+            return (0, 0)
+        instrs = self.program.instructions
+        regs = self.regs
+        mem = self.memsys
+        costs = self.costs
+        c_alu = costs.alu
+        c_mul = costs.mul
+        c_div = costs.div
+        c_br = costs.branch
+        c_brx = costs.branch_taken_extra
+        c_mem = costs.mem_issue
+        c_imiss = costs.ifetch_miss
+        c_ifx = costs.ifetch_extra
+        ic_lines = self.ic_lines
+        ic_last = self.ic_last
+        mem_bytes = self.mem_bytes
+        load = mem.load
+        store = mem.store
+        store_masked = mem.store_masked
+
+        pc = self.pc
+        cycle = self.cycle
+        n = 0
+        nprog = len(instrs)
+
+        while n < max_instrs:
+            if pc < 0 or pc >= nprog:
+                raise ExecutionError(
+                    f"{self.program.name}: pc {pc} outside program")
+            op, a, b, c = instrs[pc]
+            n += 1
+            # --- instruction fetch ---
+            line = pc >> _ILINE_SHIFT
+            if line != ic_last:
+                ic_last = line
+                self.ic_fetches += 1
+                if line not in ic_lines:
+                    ic_lines.add(line)
+                    self.ic_misses += 1
+                    cycle += c_imiss
+            if c_ifx:
+                cycle += c_ifx
+            pc += 1
+
+            # --- execute (ordered by expected dynamic frequency) ---
+            if op == oc.ADDI:
+                regs[a] = (regs[b] + c) & _U32
+                cycle += c_alu
+            elif op == oc.ADD:
+                regs[a] = (regs[b] + regs[c]) & _U32
+                cycle += c_alu
+            elif op == oc.LW:
+                addr = (regs[b] + c) & _U32
+                if addr & 3 or addr >= mem_bytes:
+                    raise ExecutionError(
+                        f"{self.program.name}@{pc - 1}: bad lw addr {addr:#x}")
+                val, lat = load(addr, cycle)
+                regs[a] = val
+                cycle += c_mem + lat
+                self.n_loads += 1
+            elif op == oc.SW:
+                addr = (regs[b] + c) & _U32
+                if addr & 3 or addr >= mem_bytes:
+                    raise ExecutionError(
+                        f"{self.program.name}@{pc - 1}: bad sw addr {addr:#x}")
+                cycle += c_mem + store(addr, regs[a], cycle)
+                self.n_stores += 1
+            elif op == oc.BNE:
+                cycle += c_br
+                if regs[a] != regs[b]:
+                    pc = c
+                    cycle += c_brx
+                self.n_branches += 1
+            elif op == oc.BEQ:
+                cycle += c_br
+                if regs[a] == regs[b]:
+                    pc = c
+                    cycle += c_brx
+                self.n_branches += 1
+            elif op == oc.BLT:
+                x = regs[a]
+                y = regs[b]
+                if (x - _MOD if x & _SIGN else x) < (y - _MOD if y & _SIGN else y):
+                    pc = c
+                    cycle += c_brx
+                cycle += c_br
+                self.n_branches += 1
+            elif op == oc.BGE:
+                x = regs[a]
+                y = regs[b]
+                if (x - _MOD if x & _SIGN else x) >= (y - _MOD if y & _SIGN else y):
+                    pc = c
+                    cycle += c_brx
+                cycle += c_br
+                self.n_branches += 1
+            elif op == oc.BLTU:
+                cycle += c_br
+                if regs[a] < regs[b]:
+                    pc = c
+                    cycle += c_brx
+                self.n_branches += 1
+            elif op == oc.BGEU:
+                cycle += c_br
+                if regs[a] >= regs[b]:
+                    pc = c
+                    cycle += c_brx
+                self.n_branches += 1
+            elif op == oc.LI:
+                regs[a] = b
+                cycle += c_alu
+            elif op == oc.SLLI:
+                regs[a] = (regs[b] << c) & _U32
+                cycle += c_alu
+            elif op == oc.SRLI:
+                regs[a] = regs[b] >> c
+                cycle += c_alu
+            elif op == oc.ANDI:
+                regs[a] = regs[b] & c
+                cycle += c_alu
+            elif op == oc.ORI:
+                regs[a] = regs[b] | c
+                cycle += c_alu
+            elif op == oc.XORI:
+                regs[a] = regs[b] ^ c
+                cycle += c_alu
+            elif op == oc.SUB:
+                regs[a] = (regs[b] - regs[c]) & _U32
+                cycle += c_alu
+            elif op == oc.AND:
+                regs[a] = regs[b] & regs[c]
+                cycle += c_alu
+            elif op == oc.OR:
+                regs[a] = regs[b] | regs[c]
+                cycle += c_alu
+            elif op == oc.XOR:
+                regs[a] = regs[b] ^ regs[c]
+                cycle += c_alu
+            elif op == oc.SLL:
+                regs[a] = (regs[b] << (regs[c] & 31)) & _U32
+                cycle += c_alu
+            elif op == oc.SRL:
+                regs[a] = regs[b] >> (regs[c] & 31)
+                cycle += c_alu
+            elif op == oc.SRA:
+                x = regs[b]
+                if x & _SIGN:
+                    x -= _MOD
+                regs[a] = (x >> (regs[c] & 31)) & _U32
+                cycle += c_alu
+            elif op == oc.SRAI:
+                x = regs[b]
+                if x & _SIGN:
+                    x -= _MOD
+                regs[a] = (x >> c) & _U32
+                cycle += c_alu
+            elif op == oc.MUL:
+                regs[a] = (regs[b] * regs[c]) & _U32
+                cycle += c_mul
+            elif op == oc.MULH:
+                x = regs[b]
+                y = regs[c]
+                if x & _SIGN:
+                    x -= _MOD
+                if y & _SIGN:
+                    y -= _MOD
+                regs[a] = ((x * y) >> 32) & _U32
+                cycle += c_mul
+            elif op == oc.SLT:
+                x = regs[b]
+                y = regs[c]
+                regs[a] = 1 if (x - _MOD if x & _SIGN else x) < (
+                    y - _MOD if y & _SIGN else y) else 0
+                cycle += c_alu
+            elif op == oc.SLTU:
+                regs[a] = 1 if regs[b] < regs[c] else 0
+                cycle += c_alu
+            elif op == oc.SLTI:
+                x = regs[b]
+                regs[a] = 1 if (x - _MOD if x & _SIGN else x) < c else 0
+                cycle += c_alu
+            elif op == oc.SLTIU:
+                regs[a] = 1 if regs[b] < (c & _U32) else 0
+                cycle += c_alu
+            elif op == oc.JAL:
+                regs[a] = pc  # link: next instruction index
+                pc = b
+                cycle += c_br + c_brx
+            elif op == oc.JALR:
+                target = (regs[b] + c) & _U32
+                regs[a] = pc
+                pc = target
+                cycle += c_br + c_brx
+            elif op == oc.LB or op == oc.LBU:
+                addr = (regs[b] + c) & _U32
+                if addr >= mem_bytes:
+                    raise ExecutionError(
+                        f"{self.program.name}@{pc - 1}: bad lb addr {addr:#x}")
+                val, lat = load(addr & ~3, cycle)
+                byte = (val >> ((addr & 3) * 8)) & 0xFF
+                if op == oc.LB and byte & 0x80:
+                    byte |= 0xFFFFFF00
+                regs[a] = byte
+                cycle += c_mem + lat
+                self.n_loads += 1
+            elif op == oc.SB:
+                addr = (regs[b] + c) & _U32
+                if addr >= mem_bytes:
+                    raise ExecutionError(
+                        f"{self.program.name}@{pc - 1}: bad sb addr {addr:#x}")
+                sh = (addr & 3) * 8
+                cycle += c_mem + store_masked(
+                    addr & ~3, (regs[a] & 0xFF) << sh, 0xFF << sh, cycle)
+                self.n_stores += 1
+            elif op == oc.LH or op == oc.LHU:
+                addr = (regs[b] + c) & _U32
+                if addr & 1 or addr >= mem_bytes:
+                    raise ExecutionError(
+                        f"{self.program.name}@{pc - 1}: bad lh addr {addr:#x}")
+                val, lat = load(addr & ~3, cycle)
+                half = (val >> ((addr & 2) * 8)) & 0xFFFF
+                if op == oc.LH and half & 0x8000:
+                    half |= 0xFFFF0000
+                regs[a] = half
+                cycle += c_mem + lat
+                self.n_loads += 1
+            elif op == oc.SH:
+                addr = (regs[b] + c) & _U32
+                if addr & 1 or addr >= mem_bytes:
+                    raise ExecutionError(
+                        f"{self.program.name}@{pc - 1}: bad sh addr {addr:#x}")
+                sh = (addr & 2) * 8
+                cycle += c_mem + store_masked(
+                    addr & ~3, (regs[a] & 0xFFFF) << sh, 0xFFFF << sh, cycle)
+                self.n_stores += 1
+            elif op == oc.DIV:
+                regs[a] = _sdiv(regs[b], regs[c])
+                cycle += c_div
+            elif op == oc.REM:
+                regs[a] = _srem(regs[b], regs[c])
+                cycle += c_div
+            elif op == oc.DIVU:
+                regs[a] = _U32 if regs[c] == 0 else regs[b] // regs[c]
+                cycle += c_div
+            elif op == oc.REMU:
+                regs[a] = regs[b] if regs[c] == 0 else regs[b] % regs[c]
+                cycle += c_div
+            elif op == oc.NOP:
+                cycle += c_alu
+            elif op == oc.HALT:
+                self.halted = True
+                pc -= 1  # stay on the HALT
+                cycle += c_alu
+                break
+            else:  # pragma: no cover - opcode table is exhaustive
+                raise ExecutionError(f"illegal opcode {op} at {pc - 1}")
+
+            regs[0] = 0
+
+        regs[0] = 0
+        self.ic_last = ic_last
+        dcycles = cycle - self.cycle
+        self.pc = pc
+        self.cycle = cycle
+        self.instret += n
+        return (n, dcycles)
+
+    # ------------------------------------------------------------------
+    def run_to_halt(self, max_instrs: int = 50_000_000) -> int:
+        """Run until HALT (no power failures); returns retired instructions."""
+        total = 0
+        while not self.halted:
+            done, _ = self.run_chunk(65536)
+            total += done
+            if total > max_instrs:
+                raise ExecutionError(
+                    f"{self.program.name}: exceeded {max_instrs} instructions")
+        return total

@@ -1,0 +1,52 @@
+"""Per-instruction-class cycle costs for the in-order core.
+
+The paper models a 1 GHz single-issue in-order ARM core on gem5. We use
+class-level costs: they set the compute/memory balance, which is what the
+cache-design comparison is sensitive to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CycleCosts:
+    """Cycle costs charged by the core, on top of memory-system latency.
+
+    Attributes:
+        alu: Simple ALU ops, LI, NOP.
+        mul: 32x32 multiply (MUL/MULH).
+        div: Divide/remainder.
+        branch: Untaken conditional branch.
+        branch_taken_extra: Extra bubble cycles for a taken branch/jump.
+        mem_issue: Address-generation/issue cost of a load or store,
+            added to the memory-system latency.
+        ifetch_miss: I-cache miss penalty (refill from NVM instruction
+            storage); per 16-instruction line.
+        ifetch_extra: Extra cycles per instruction fetch (0 for SRAM
+            I-caches whose hit is hidden by pipelining; >0 models the slow
+            non-volatile I-cache of the NVCache design).
+    """
+
+    alu: int = 1
+    mul: int = 3
+    div: int = 12
+    branch: int = 1
+    branch_taken_extra: int = 1
+    mem_issue: int = 1
+    ifetch_miss: int = 20
+    ifetch_extra: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "alu", "mul", "div", "branch", "branch_taken_extra",
+            "mem_issue", "ifetch_miss", "ifetch_extra",
+        ):
+            v = getattr(self, field_name)
+            if not isinstance(v, int) or v < 0:
+                raise ConfigError(f"CycleCosts.{field_name} must be an int >= 0")
+        if self.alu < 1 or self.branch < 1:
+            raise ConfigError("alu and branch costs must be >= 1")

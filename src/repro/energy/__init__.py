@@ -1,0 +1,27 @@
+"""repro.energy - capacitor, power traces, and the energy model."""
+
+from repro.energy.capacitor import Capacitor, energy_nj
+from repro.energy.model import EnergyModel
+from repro.energy.synthetic import (RFTrace, SolarTrace, ThermalTrace,
+                                    make_trace, solar, thermal, trace1,
+                                    trace2, trace3)
+from repro.energy.traces import ConstantTrace, PowerTrace, load_csv, save_csv
+
+__all__ = [
+    "Capacitor",
+    "ConstantTrace",
+    "EnergyModel",
+    "PowerTrace",
+    "RFTrace",
+    "SolarTrace",
+    "ThermalTrace",
+    "energy_nj",
+    "load_csv",
+    "make_trace",
+    "save_csv",
+    "solar",
+    "thermal",
+    "trace1",
+    "trace2",
+    "trace3",
+]

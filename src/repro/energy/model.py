@@ -1,0 +1,51 @@
+"""Per-operation energy model for the core and the NVP runtime.
+
+Cache-array and NVM access energies live with their components
+(:class:`~repro.caches.params.CacheParams`, :class:`~repro.mem.nvm.
+NVMTimings`); this model covers the core side: compute energy per retired
+instruction, instruction-fetch energy, register checkpoint/restore to NVFF,
+and static leakage.
+
+All values are in the simulator's scaled nanojoule units (DESIGN.md §4):
+relative magnitudes follow the literature (NVM writes >> NVM reads >> SRAM
+accesses >> register-file NVFF flashes), absolute magnitudes are chosen so
+Python-scale workloads see the paper's outage dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Core-side energies (nJ) and leakage (W).
+
+    Attributes:
+        compute_nj: Dynamic energy per retired instruction (datapath).
+        ifetch_nj: Energy per I-cache line access.
+        ifetch_miss_nj: Extra energy per I-cache refill from NVM.
+        reg_ckpt_nj: JIT checkpoint of the register file + PC + DirtyQueue
+            thresholds + watchdog values into NVFFs.
+        reg_restore_nj: Restore of the same at reboot.
+        core_leakage_w: Core + register file leakage while powered.
+        worst_instr_nj: Upper bound on one instruction's total energy
+            (compute + worst-case memory); sizes the chunked voltage-check
+            safety margin on Vbackup.
+    """
+
+    compute_nj: float = 0.18
+    ifetch_nj: float = 0.015
+    ifetch_miss_nj: float = 1.0
+    reg_ckpt_nj: float = 20.0
+    reg_restore_nj: float = 10.0
+    core_leakage_w: float = 0.25
+    worst_instr_nj: float = 3.5
+
+    def __post_init__(self) -> None:
+        if min(self.compute_nj, self.ifetch_nj, self.ifetch_miss_nj,
+               self.reg_ckpt_nj, self.reg_restore_nj, self.core_leakage_w,
+               self.worst_instr_nj) < 0:
+            raise ConfigError("energies must be >= 0")

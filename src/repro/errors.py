@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class AssemblyError(ReproError):
+    """Raised when a program cannot be assembled (bad mnemonic, label, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the simulated core hits an illegal state.
+
+    Examples: misaligned access, out-of-range memory address, division by
+    zero in the guest program, or exceeding the instruction budget.
+    """
+
+
+class ConfigError(ReproError):
+    """Raised for invalid simulation configuration values."""
+
+
+class EnergyError(ReproError):
+    """Raised when the energy substrate reaches an impossible state.
+
+    The most important case is a JIT checkpoint that would drive the
+    capacitor below ``Vmin`` - that means the reserve sized by ``maxline``
+    was insufficient, i.e. a crash-consistency bug.
+    """
+
+
+class ConsistencyError(ReproError):
+    """Raised by the verification layer when post-recovery state diverges
+    from the failure-free oracle."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed or exhausted power traces."""

@@ -1,0 +1,22 @@
+"""repro.isa - the RV32-like guest instruction set.
+
+Public surface: :class:`ProgramBuilder` (the DSL every workload uses),
+:class:`Program`, :func:`assemble`, :func:`disassemble`, and the opcode
+tables in :mod:`repro.isa.opcodes`.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.builder import Label, ProgramBuilder, Reg
+from repro.isa.disasm import disassemble, disassemble_one
+from repro.isa.program import DATA_BASE, Program
+
+__all__ = [
+    "DATA_BASE",
+    "Label",
+    "Program",
+    "ProgramBuilder",
+    "Reg",
+    "assemble",
+    "disassemble",
+    "disassemble_one",
+]

@@ -1,0 +1,202 @@
+"""Two-pass text assembler for the repro ISA.
+
+Accepts a conventional assembly dialect::
+
+        li   t0, 10
+        li   t1, 0
+    loop:
+        add  t1, t1, t0
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        sw   t1, 0(a0)
+        halt
+
+    .data 0x2000
+        .word 1, 2, 3
+        .byte 0xde, 0xad
+
+Loads/stores use ``offset(base)`` syntax. Branch/jump targets are labels.
+``.data <addr>`` switches to the data segment at a byte address; ``.word``
+and ``.byte`` place initialized data there.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.isa import opcodes as oc
+from repro.isa.program import DEFAULT_MEM_BYTES, Program
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _parse_int(tok: str, line_no: int) -> int:
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AssemblyError(f"line {line_no}: expected integer, got {tok!r}") from None
+
+
+def _parse_reg(tok: str, line_no: int) -> int:
+    r = oc.REGISTER_BY_NAME.get(tok)
+    if r is None:
+        raise AssemblyError(f"line {line_no}: unknown register {tok!r}")
+    return r
+
+
+def assemble(text: str, name: str = "asm",
+             mem_bytes: int = DEFAULT_MEM_BYTES) -> Program:
+    """Assemble source text into a validated :class:`Program`."""
+    labels: dict[str, int] = {}
+    pending: list[tuple] = []  # (op, a, b, c) with label names unresolved
+    data: dict[int, int] = {}
+    symbols: dict[str, int] = {}
+    in_data = False
+    data_cursor = 0
+
+    def split_operands(rest: str) -> list[str]:
+        return [t.strip() for t in rest.split(",") if t.strip()] if rest else []
+
+    lines = text.splitlines()
+    # Pass 1: collect instructions with label placeholders and data.
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+        if not line:
+            continue
+        # labels (possibly several, possibly followed by an instruction)
+        while True:
+            m = re.match(r"^(\w+):\s*(.*)$", line)
+            if not m:
+                break
+            lbl, line = m.group(1), m.group(2)
+            if lbl in labels:
+                raise AssemblyError(f"line {line_no}: duplicate label {lbl!r}")
+            labels[lbl] = len(pending)
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnem = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        ops = split_operands(rest)
+
+        if mnem == ".data":
+            in_data = True
+            if len(ops) != 1:
+                raise AssemblyError(f"line {line_no}: .data needs an address")
+            data_cursor = _parse_int(ops[0], line_no)
+            continue
+        if mnem == ".text":
+            in_data = False
+            continue
+        if mnem == ".word":
+            if not in_data:
+                raise AssemblyError(f"line {line_no}: .word outside .data")
+            if data_cursor % 4:
+                data_cursor = (data_cursor + 3) & ~3
+            for tok in ops:
+                data[data_cursor >> 2] = _parse_int(tok, line_no) & 0xFFFFFFFF
+                data_cursor += 4
+            continue
+        if mnem == ".byte":
+            if not in_data:
+                raise AssemblyError(f"line {line_no}: .byte outside .data")
+            for tok in ops:
+                val = _parse_int(tok, line_no) & 0xFF
+                widx, shift = data_cursor >> 2, (data_cursor & 3) * 8
+                data[widx] = (data.get(widx, 0) & ~(0xFF << shift)) | (val << shift)
+                data_cursor += 1
+            continue
+        if mnem == ".symbol":
+            if len(ops) != 2:
+                raise AssemblyError(f"line {line_no}: .symbol name, addr")
+            symbols[ops[0]] = _parse_int(ops[1], line_no)
+            continue
+        if in_data:
+            raise AssemblyError(f"line {line_no}: instruction inside .data")
+
+        op = oc.OPCODE_BY_MNEMONIC.get(mnem)
+        # pseudo-instructions
+        if op is None:
+            if mnem == "mv" and len(ops) == 2:
+                pending.append((oc.ADDI, _parse_reg(ops[0], line_no),
+                                _parse_reg(ops[1], line_no), 0))
+                continue
+            if mnem == "j" and len(ops) == 1:
+                pending.append((oc.JAL, 0, ops[0], 0))
+                continue
+            if mnem == "ret" and not ops:
+                pending.append((oc.JALR, 0, 1, 0))
+                continue
+            if mnem == "call" and len(ops) == 1:
+                pending.append((oc.JAL, 1, ops[0], 0))
+                continue
+            raise AssemblyError(f"line {line_no}: unknown mnemonic {mnem!r}")
+
+        if op in oc.R_FORMAT:
+            if len(ops) != 3:
+                raise AssemblyError(f"line {line_no}: {mnem} rd, rs1, rs2")
+            pending.append((op, _parse_reg(ops[0], line_no),
+                            _parse_reg(ops[1], line_no),
+                            _parse_reg(ops[2], line_no)))
+        elif op in oc.I_FORMAT:
+            if len(ops) != 3:
+                raise AssemblyError(f"line {line_no}: {mnem} rd, rs1, imm")
+            pending.append((op, _parse_reg(ops[0], line_no),
+                            _parse_reg(ops[1], line_no),
+                            _parse_int(ops[2], line_no)))
+        elif op == oc.LI:
+            if len(ops) != 2:
+                raise AssemblyError(f"line {line_no}: li rd, imm")
+            pending.append((op, _parse_reg(ops[0], line_no),
+                            _parse_int(ops[1], line_no) & 0xFFFFFFFF, 0))
+        elif op in oc.LOAD_FORMAT or op in oc.STORE_FORMAT:
+            if len(ops) != 2:
+                raise AssemblyError(f"line {line_no}: {mnem} reg, off(base)")
+            m = _MEM_RE.match(ops[1].replace(" ", ""))
+            if not m:
+                raise AssemblyError(
+                    f"line {line_no}: expected off(base), got {ops[1]!r}")
+            off = _parse_int(m.group(1), line_no)
+            base = _parse_reg(m.group(2), line_no)
+            pending.append((op, _parse_reg(ops[0], line_no), base, off))
+        elif op in oc.B_FORMAT:
+            if len(ops) != 3:
+                raise AssemblyError(f"line {line_no}: {mnem} rs1, rs2, label")
+            pending.append((op, _parse_reg(ops[0], line_no),
+                            _parse_reg(ops[1], line_no), ops[2]))
+        elif op == oc.JAL:
+            if len(ops) != 2:
+                raise AssemblyError(f"line {line_no}: jal rd, label")
+            pending.append((op, _parse_reg(ops[0], line_no), ops[1], 0))
+        elif op == oc.JALR:
+            if len(ops) != 3:
+                raise AssemblyError(f"line {line_no}: jalr rd, rs1, imm")
+            pending.append((op, _parse_reg(ops[0], line_no),
+                            _parse_reg(ops[1], line_no),
+                            _parse_int(ops[2], line_no)))
+        elif op in oc.SYS_FORMAT:
+            pending.append((op, 0, 0, 0))
+        else:  # pragma: no cover - formats are exhaustive
+            raise AssemblyError(f"line {line_no}: unhandled opcode {mnem!r}")
+
+    # Pass 2: resolve label targets.
+    def resolve(tok, line_desc):
+        if isinstance(tok, str):
+            if tok not in labels:
+                raise AssemblyError(f"{line_desc}: undefined label {tok!r}")
+            return labels[tok]
+        return tok
+
+    instrs = []
+    for idx, (op, a, b, c) in enumerate(pending):
+        if op in oc.B_FORMAT:
+            c = resolve(c, f"instr {idx}")
+        elif op == oc.JAL:
+            b = resolve(b, f"instr {idx}")
+        instrs.append((op, a, b, c))
+
+    prog = Program(name=name, instructions=instrs, data=data, labels=labels,
+                   symbols=symbols, mem_bytes=mem_bytes)
+    prog.validate()
+    return prog

@@ -1,0 +1,591 @@
+"""Structured program builder DSL.
+
+All 23 benchmark kernels are written against this API. Registers are a
+distinct :class:`Reg` type so that plain ints are always immediates — the
+builder can never silently confuse ``5`` (constant) with ``x5`` (register).
+
+It provides:
+
+* named register allocation with scoped scratch registers,
+* data-segment placement (words, bytes, zero-filled space),
+* one emit method per ISA mnemonic, with immediates auto-materialized into
+  the assembler temp register where the ISA needs a register operand,
+* structured control flow (``for_range``, ``while_``, ``loop``, ``if_``,
+  ``if_else``) implemented with labels and conditional branches, and
+* a tiny call/return convention (``call``/``ret``/``push``/``pop``) with the
+  stack at the top of data memory.
+
+Example:
+    >>> b = ProgramBuilder("sum")
+    >>> acc, i = b.regs("acc", "i")
+    >>> b.li(acc, 0)
+    >>> with b.for_range(i, 0, 10):
+    ...     b.add(acc, acc, i)
+    >>> out = b.space_words(1, "out")
+    >>> b.sw_addr(acc, out)
+    >>> prog = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import AssemblyError
+from repro.isa import opcodes as oc
+from repro.isa.program import DATA_BASE, DEFAULT_MEM_BYTES, Program
+
+_U32 = 0xFFFFFFFF
+
+# Condition name -> (branch opcode, swap operands?)
+_CONDS = {
+    "==": (oc.BEQ, False),
+    "!=": (oc.BNE, False),
+    "<": (oc.BLT, False),
+    ">=": (oc.BGE, False),
+    ">": (oc.BLT, True),
+    "<=": (oc.BGE, True),
+    "<u": (oc.BLTU, False),
+    ">=u": (oc.BGEU, False),
+    ">u": (oc.BLTU, True),
+    "<=u": (oc.BGEU, True),
+}
+
+_NEGATED = {
+    "==": "!=", "!=": "==", "<": ">=", ">=": "<", ">": "<=", "<=": ">",
+    "<u": ">=u", ">=u": "<u", ">u": "<=u", "<=u": ">u",
+}
+
+
+class Reg:
+    """A register operand. Created only by the builder."""
+
+    __slots__ = ("n", "name")
+
+    def __init__(self, n: int, name: str | None = None):
+        self.n = n
+        self.name = name or oc.REGISTER_NAMES[n]
+
+    def __repr__(self) -> str:
+        return f"Reg({self.name}=x{self.n})"
+
+
+class Label:
+    """A code label; resolved to an instruction index at :meth:`ProgramBuilder.build`."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.index: int | None = None
+
+    def __repr__(self) -> str:
+        return f"Label({self.name}, index={self.index})"
+
+
+class LoopCtx:
+    """Handle for an open :meth:`ProgramBuilder.loop`, exposing break/continue."""
+
+    def __init__(self, builder: "ProgramBuilder", head: Label, end: Label):
+        self._b = builder
+        self.head = head
+        self.end = end
+
+    def break_(self) -> None:
+        self._b.j(self.end)
+
+    def break_if(self, rs1, cond: str, rs2) -> None:
+        self._b.branch(rs1, cond, rs2, self.end)
+
+    def continue_(self) -> None:
+        self._b.j(self.head)
+
+    def continue_if(self, rs1, cond: str, rs2) -> None:
+        self._b.branch(rs1, cond, rs2, self.head)
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`~repro.isa.program.Program`."""
+
+    # Registers handed out by reg(): x3..x30. Reserved: x0 (zero), x1 (ra),
+    # x2 (sp), x31 (assembler temp for materialized immediates).
+    _POOL = tuple(range(3, 31))
+    _AT = 31
+
+    def __init__(self, name: str = "program", mem_bytes: int = DEFAULT_MEM_BYTES):
+        if mem_bytes % 4 or mem_bytes <= DATA_BASE:
+            raise AssemblyError("mem_bytes must be a multiple of 4 > DATA_BASE")
+        self.name = name
+        self.mem_bytes = mem_bytes
+        self.zero = Reg(0)
+        self.ra = Reg(1)
+        self.sp = Reg(2)
+        self.at = Reg(self._AT)
+        self._instrs: list[list] = []
+        self._data: dict[int, int] = {}
+        self._symbols: dict[str, int] = {}
+        self._labels: dict[str, Label] = {}
+        self._free = list(self._POOL)
+        self._used: dict[int, str] = {}
+        self._data_cursor = DATA_BASE
+        self._label_seq = 0
+        self._stack_top = mem_bytes - 64
+        # runtime prologue: initialize the stack pointer
+        self.li(self.sp, self._stack_top)
+
+    # ------------------------------------------------------------------
+    # operand coercion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _r(x, what: str = "operand") -> int:
+        if isinstance(x, Reg):
+            return x.n
+        raise AssemblyError(f"{what} must be a Reg, got {x!r}")
+
+    def _rv(self, x, what: str = "operand") -> int:
+        """Coerce a register-or-int operand to a register index, emitting an
+        LI into the assembler temp for int immediates."""
+        if isinstance(x, Reg):
+            return x.n
+        if isinstance(x, int) and not isinstance(x, bool):
+            if x == 0:
+                return 0
+            self.li(self.at, x)
+            return self._AT
+        raise AssemblyError(f"{what} must be a Reg or int, got {x!r}")
+
+    # ------------------------------------------------------------------
+    # register management
+    # ------------------------------------------------------------------
+    def reg(self, name: str | None = None) -> Reg:
+        """Allocate a free register, optionally tagging it with a debug name."""
+        if not self._free:
+            raise AssemblyError(
+                f"{self.name}: out of registers; in use: {sorted(self._used.values())}"
+            )
+        n = self._free.pop(0)
+        self._used[n] = name or f"r{n}"
+        return Reg(n, name)
+
+    def regs(self, *names: str) -> list[Reg]:
+        return [self.reg(n) for n in names]
+
+    def free(self, *rs: Reg) -> None:
+        for r in rs:
+            if r.n not in self._used:
+                raise AssemblyError(f"register x{r.n} is not allocated")
+            del self._used[r.n]
+            self._free.insert(0, r.n)
+
+    @contextmanager
+    def scratch(self, *names: str):
+        """Scoped scratch registers, freed on exit.
+
+        Yields a single Reg for one name, else a list of Regs.
+        """
+        rs = [self.reg(n) for n in (names or ("tmp",))]
+        try:
+            yield rs[0] if len(rs) == 1 else rs
+        finally:
+            self.free(*rs)
+
+    # ------------------------------------------------------------------
+    # data segment
+    # ------------------------------------------------------------------
+    def _align4(self) -> None:
+        self._data_cursor = (self._data_cursor + 3) & ~3
+
+    def _place(self, nbytes: int, name: str | None) -> int:
+        self._align4()
+        addr = self._data_cursor
+        self._data_cursor += nbytes
+        if self._data_cursor >= self._stack_top - 4096:
+            raise AssemblyError(f"{self.name}: data segment overflows into stack")
+        if name:
+            if name in self._symbols:
+                raise AssemblyError(f"duplicate data symbol {name!r}")
+            self._symbols[name] = addr
+        return addr
+
+    def data_words(self, values, name: str | None = None) -> int:
+        """Place initialized 32-bit words; returns the base byte address."""
+        values = list(values)
+        addr = self._place(4 * len(values), name)
+        for i, v in enumerate(values):
+            self._data[(addr >> 2) + i] = v & _U32
+        return addr
+
+    def data_bytes(self, bs: bytes, name: str | None = None) -> int:
+        """Place initialized bytes (little-endian packed); returns base address."""
+        addr = self._place(len(bs), name)
+        for i, byte in enumerate(bs):
+            widx = (addr + i) >> 2
+            shift = ((addr + i) & 3) * 8
+            self._data[widx] = (self._data.get(widx, 0) | (byte << shift)) & _U32
+        return addr
+
+    def space_words(self, nwords: int, name: str | None = None) -> int:
+        """Reserve zero-initialized words; returns the base byte address."""
+        return self._place(4 * nwords, name)
+
+    def space_bytes(self, nbytes: int, name: str | None = None) -> int:
+        return self._place(nbytes, name)
+
+    def symbol(self, name: str) -> int:
+        return self._symbols[name]
+
+    # ------------------------------------------------------------------
+    # low-level emission
+    # ------------------------------------------------------------------
+    def _emit(self, op, a, b, c) -> None:
+        self._instrs.append([op, a, b, c])
+
+    def label(self, name: str | None = None) -> Label:
+        self._label_seq += 1
+        lbl = Label(name or f"L{self._label_seq}")
+        if lbl.name in self._labels:
+            raise AssemblyError(f"duplicate label {lbl.name!r}")
+        self._labels[lbl.name] = lbl
+        return lbl
+
+    def bind(self, lbl: Label) -> None:
+        if lbl.index is not None:
+            raise AssemblyError(f"label {lbl.name!r} bound twice")
+        lbl.index = len(self._instrs)
+
+    def here(self, name: str | None = None) -> Label:
+        """Create a label bound to the current position."""
+        lbl = self.label(name)
+        self.bind(lbl)
+        return lbl
+
+    # ALU: rs2 may be a Reg or an int immediate (auto-selects the I-form
+    # where one exists, else materializes via the assembler temp).
+    def _alu(self, rop: int, iop: int | None, rd: Reg, rs1: Reg, rs2,
+             mask: bool = False) -> None:
+        d, s1 = self._r(rd, "rd"), self._r(rs1, "rs1")
+        if isinstance(rs2, Reg):
+            self._emit(rop, d, s1, rs2.n)
+        elif isinstance(rs2, int) and not isinstance(rs2, bool):
+            if iop is not None:
+                self._emit(iop, d, s1, rs2 & _U32 if mask else rs2)
+            else:
+                self._emit(rop, d, s1, self._rv(rs2, "rs2"))
+        else:
+            raise AssemblyError(f"rs2 must be Reg or int, got {rs2!r}")
+
+    def add(self, rd, rs1, rs2):
+        self._alu(oc.ADD, oc.ADDI, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        if isinstance(rs2, int) and not isinstance(rs2, bool):
+            self._emit(oc.ADDI, self._r(rd), self._r(rs1), -rs2)
+        else:
+            self._alu(oc.SUB, None, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        self._alu(oc.MUL, None, rd, rs1, rs2)
+
+    def mulh(self, rd, rs1, rs2):
+        self._alu(oc.MULH, None, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        self._alu(oc.DIV, None, rd, rs1, rs2)
+
+    def rem(self, rd, rs1, rs2):
+        self._alu(oc.REM, None, rd, rs1, rs2)
+
+    def divu(self, rd, rs1, rs2):
+        self._alu(oc.DIVU, None, rd, rs1, rs2)
+
+    def remu(self, rd, rs1, rs2):
+        self._alu(oc.REMU, None, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        self._alu(oc.AND, oc.ANDI, rd, rs1, rs2, mask=True)
+
+    def or_(self, rd, rs1, rs2):
+        self._alu(oc.OR, oc.ORI, rd, rs1, rs2, mask=True)
+
+    def xor(self, rd, rs1, rs2):
+        self._alu(oc.XOR, oc.XORI, rd, rs1, rs2, mask=True)
+
+    def sll(self, rd, rs1, rs2):
+        if isinstance(rs2, int):
+            self._emit(oc.SLLI, self._r(rd), self._r(rs1), rs2 & 31)
+        else:
+            self._alu(oc.SLL, None, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        if isinstance(rs2, int):
+            self._emit(oc.SRLI, self._r(rd), self._r(rs1), rs2 & 31)
+        else:
+            self._alu(oc.SRL, None, rd, rs1, rs2)
+
+    def sra(self, rd, rs1, rs2):
+        if isinstance(rs2, int):
+            self._emit(oc.SRAI, self._r(rd), self._r(rs1), rs2 & 31)
+        else:
+            self._alu(oc.SRA, None, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        self._alu(oc.SLT, oc.SLTI, rd, rs1, rs2)
+
+    def sltu(self, rd, rs1, rs2):
+        self._alu(oc.SLTU, oc.SLTIU, rd, rs1, rs2)
+
+    # pseudo-ops --------------------------------------------------------
+    def li(self, rd, imm: int):
+        self._emit(oc.LI, self._r(rd, "rd"), imm & _U32, 0)
+
+    def mv(self, rd, rs):
+        self._emit(oc.ADDI, self._r(rd), self._r(rs), 0)
+
+    def not_(self, rd, rs):
+        self._emit(oc.XORI, self._r(rd), self._r(rs), _U32)
+
+    def neg(self, rd, rs):
+        self._emit(oc.SUB, self._r(rd), 0, self._r(rs))
+
+    def seqz(self, rd, rs):
+        self._emit(oc.SLTIU, self._r(rd), self._r(rs), 1)
+
+    def snez(self, rd, rs):
+        self._emit(oc.SLTU, self._r(rd), 0, self._r(rs))
+
+    def nop(self):
+        self._emit(oc.NOP, 0, 0, 0)
+
+    def halt(self):
+        self._emit(oc.HALT, 0, 0, 0)
+
+    # memory ------------------------------------------------------------
+    def lw(self, rd, base, off: int = 0):
+        self._emit(oc.LW, self._r(rd), self._r(base, "base"), off)
+
+    def sw(self, val, base, off: int = 0):
+        self._emit(oc.SW, self._rv(val, "val"), self._r(base, "base"), off)
+
+    def lb(self, rd, base, off: int = 0):
+        self._emit(oc.LB, self._r(rd), self._r(base, "base"), off)
+
+    def lbu(self, rd, base, off: int = 0):
+        self._emit(oc.LBU, self._r(rd), self._r(base, "base"), off)
+
+    def sb(self, val, base, off: int = 0):
+        self._emit(oc.SB, self._rv(val, "val"), self._r(base, "base"), off)
+
+    def lh(self, rd, base, off: int = 0):
+        self._emit(oc.LH, self._r(rd), self._r(base, "base"), off)
+
+    def lhu(self, rd, base, off: int = 0):
+        self._emit(oc.LHU, self._r(rd), self._r(base, "base"), off)
+
+    def sh(self, val, base, off: int = 0):
+        self._emit(oc.SH, self._rv(val, "val"), self._r(base, "base"), off)
+
+    def lw_addr(self, rd, addr: int):
+        """Load a word from a constant byte address (via the assembler temp)."""
+        self.li(self.at, addr)
+        self.lw(rd, self.at, 0)
+
+    def sw_addr(self, val, addr: int):
+        """Store a word to a constant byte address.
+
+        ``val`` must be a Reg (the assembler temp holds the address).
+        """
+        self._r(val, "val")
+        self.li(self.at, addr)
+        self.sw(val, self.at, 0)
+
+    # control flow ------------------------------------------------------
+    def branch(self, rs1, cond: str, rs2, target: Label) -> None:
+        """Branch to ``target`` when ``rs1 cond rs2`` holds.
+
+        ``rs2`` may be an int immediate (materialized into the assembler
+        temp, one extra LI instruction, except 0 which uses x0).
+        """
+        if cond not in _CONDS:
+            raise AssemblyError(f"unknown condition {cond!r}")
+        s1 = self._r(rs1, "rs1")
+        s2 = self._rv(rs2, "rs2")
+        op, swap = _CONDS[cond]
+        a, bb = (s2, s1) if swap else (s1, s2)
+        self._emit(op, a, bb, target)
+
+    def j(self, target: Label) -> None:
+        self._emit(oc.JAL, 0, target, 0)
+
+    def call(self, target: Label) -> None:
+        """Call a subroutine (clobbers ra; callee returns with :meth:`ret`)."""
+        self._emit(oc.JAL, 1, target, 0)
+
+    def ret(self) -> None:
+        self._emit(oc.JALR, 0, 1, 0)
+
+    def push(self, *rs: Reg) -> None:
+        """Push registers onto the downward-growing stack."""
+        self.addi_sp(-4 * len(rs))
+        for i, r in enumerate(rs):
+            self.sw(r, self.sp, 4 * i)
+
+    def pop(self, *rs: Reg) -> None:
+        """Pop registers pushed with :meth:`push` (same order)."""
+        for i, r in enumerate(rs):
+            self.lw(r, self.sp, 4 * i)
+        self.addi_sp(4 * len(rs))
+
+    def addi_sp(self, delta: int) -> None:
+        self._emit(oc.ADDI, 2, 2, delta)
+
+    # structured control flow -------------------------------------------
+    @contextmanager
+    def for_range(self, it: Reg, start, stop, step: int = 1):
+        """``for it in range(start, stop, step)`` over signed 32-bit ints.
+
+        ``start``/``stop`` may each be a Reg or an int constant. ``stop`` is
+        evaluated once (copied to a scratch bound register when it is an
+        int or could be clobbered is the caller's responsibility for Regs).
+        """
+        if step == 0:
+            raise AssemblyError("for_range step must be nonzero")
+        if isinstance(start, Reg):
+            if start.n != it.n:
+                self.mv(it, start)
+        else:
+            self.li(it, start)
+        bound = None
+        if isinstance(stop, Reg):
+            stop_r = stop
+        else:
+            bound = self.reg("for_bound")
+            self.li(bound, stop)
+            stop_r = bound
+        head = self.label()
+        end = self.label()
+        self.bind(head)
+        if step > 0:
+            self.branch(it, ">=", stop_r, end)
+        else:
+            self.branch(it, "<=", stop_r, end)
+        try:
+            yield it
+        finally:
+            self.add(it, it, step)
+            self.j(head)
+            self.bind(end)
+            if bound is not None:
+                self.free(bound)
+
+    @contextmanager
+    def loop(self):
+        """Infinite loop; exit with ``ctx.break_if(...)`` / ``ctx.break_()``."""
+        head = self.label()
+        end = self.label()
+        self.bind(head)
+        ctx = LoopCtx(self, head, end)
+        try:
+            yield ctx
+        finally:
+            self.j(head)
+            self.bind(end)
+
+    @contextmanager
+    def while_(self, rs1, cond: str, rs2):
+        """``while rs1 cond rs2`` with the test at the top of each iteration."""
+        head = self.label()
+        end = self.label()
+        self.bind(head)
+        self.branch(rs1, _NEGATED[cond], rs2, end)
+        try:
+            yield
+        finally:
+            self.j(head)
+            self.bind(end)
+
+    @contextmanager
+    def if_(self, rs1, cond: str, rs2):
+        """Execute the body only when ``rs1 cond rs2`` holds."""
+        end = self.label()
+        self.branch(rs1, _NEGATED[cond], rs2, end)
+        try:
+            yield
+        finally:
+            self.bind(end)
+
+    @contextmanager
+    def if_else(self, rs1, cond: str, rs2):
+        """If/else; the yielded callable switches to the else arm.
+
+        >>> with b.if_else(x, "<", y) as otherwise:  # doctest: +SKIP
+        ...     b.mv(m, x)
+        ...     otherwise()
+        ...     b.mv(m, y)
+        """
+        else_l = self.label()
+        end = self.label()
+        self.branch(rs1, _NEGATED[cond], rs2, else_l)
+        state = {"taken": False}
+
+        def otherwise():
+            if state["taken"]:
+                raise AssemblyError("otherwise() called twice")
+            state["taken"] = True
+            self.j(end)
+            self.bind(else_l)
+
+        try:
+            yield otherwise
+        finally:
+            if not state["taken"]:
+                self.bind(else_l)
+            self.bind(end)
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Resolve labels and return a validated :class:`Program`."""
+        if not self._instrs or self._instrs[-1][0] != oc.HALT:
+            self.halt()
+        resolved: list[tuple] = []
+        for idx, ins in enumerate(self._instrs):
+            op, a, b, c = ins
+            if isinstance(c, Label):
+                if c.index is None:
+                    raise AssemblyError(f"unbound label {c.name!r} at instr {idx}")
+                c = c.index
+            if isinstance(b, Label):
+                if b.index is None:
+                    raise AssemblyError(f"unbound label {b.name!r} at instr {idx}")
+                b = b.index
+            resolved.append((op, a, b, c))
+        prog = Program(
+            name=self.name,
+            instructions=resolved,
+            data=dict(self._data),
+            labels={n: l.index for n, l in self._labels.items() if l.index is not None},
+            symbols=dict(self._symbols),
+            mem_bytes=self.mem_bytes,
+        )
+        prog.validate()
+        return prog
+
+    # aliases kept for readability in kernels ---------------------------
+    def addi(self, rd, rs1, imm: int):
+        self._emit(oc.ADDI, self._r(rd), self._r(rs1), imm)
+
+    def andi(self, rd, rs1, imm: int):
+        self._emit(oc.ANDI, self._r(rd), self._r(rs1), imm & _U32)
+
+    def ori(self, rd, rs1, imm: int):
+        self._emit(oc.ORI, self._r(rd), self._r(rs1), imm & _U32)
+
+    def xori(self, rd, rs1, imm: int):
+        self._emit(oc.XORI, self._r(rd), self._r(rs1), imm & _U32)
+
+    def slli(self, rd, rs1, imm: int):
+        self._emit(oc.SLLI, self._r(rd), self._r(rs1), imm & 31)
+
+    def srli(self, rd, rs1, imm: int):
+        self._emit(oc.SRLI, self._r(rd), self._r(rs1), imm & 31)
+
+    def srai(self, rd, rs1, imm: int):
+        self._emit(oc.SRAI, self._r(rd), self._r(rs1), imm & 31)

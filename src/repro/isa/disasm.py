@@ -1,0 +1,46 @@
+"""Disassembler: turn instruction tuples back into readable assembly."""
+
+from __future__ import annotations
+
+from repro.isa import opcodes as oc
+from repro.isa.instructions import Instr, format_of
+from repro.isa.program import Program
+
+_R = oc.REGISTER_NAMES
+
+
+def disassemble_one(ins: Instr) -> str:
+    """Render one instruction tuple as assembly text."""
+    op, a, b, c = ins
+    mnem = oc.MNEMONICS[op]
+    fmt = format_of(op)
+    if fmt == "R":
+        return f"{mnem} {_R[a]}, {_R[b]}, {_R[c]}"
+    if fmt == "I":
+        return f"{mnem} {_R[a]}, {_R[b]}, {c}"
+    if fmt == "LI":
+        return f"{mnem} {_R[a]}, {b:#x}" if b > 9 else f"{mnem} {_R[a]}, {b}"
+    if fmt == "LOAD":
+        return f"{mnem} {_R[a]}, {c}({_R[b]})"
+    if fmt == "STORE":
+        return f"{mnem} {_R[a]}, {c}({_R[b]})"
+    if fmt == "B":
+        return f"{mnem} {_R[a]}, {_R[b]}, @{c}"
+    if fmt == "J":
+        return f"{mnem} {_R[a]}, @{b}"
+    if fmt == "JR":
+        return f"{mnem} {_R[a]}, {_R[b]}, {c}"
+    return mnem
+
+
+def disassemble(prog: Program) -> str:
+    """Render a whole program, annotating label positions."""
+    by_index: dict[int, list[str]] = {}
+    for name, idx in prog.labels.items():
+        by_index.setdefault(idx, []).append(name)
+    out = []
+    for i, ins in enumerate(prog.instructions):
+        for lbl in by_index.get(i, []):
+            out.append(f"{lbl}:")
+        out.append(f"  {i:5d}: {disassemble_one(ins)}")
+    return "\n".join(out)

@@ -1,0 +1,102 @@
+"""Instruction construction and validation helpers.
+
+Instructions are stored as plain 4-tuples ``(op, a, b, c)`` for interpreter
+speed; this module provides typed constructors that validate operands and a
+:func:`format_of` helper used by the disassembler and property tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblyError
+from repro.isa import opcodes as oc
+
+Instr = tuple  # (op, a, b, c)
+
+_MIN_I32 = -(1 << 31)
+_MAX_U32 = (1 << 32) - 1
+
+
+def _check_reg(r: int, what: str) -> int:
+    if not isinstance(r, int) or not 0 <= r < oc.NUM_REGISTERS:
+        raise AssemblyError(f"{what} must be a register index 0..31, got {r!r}")
+    return r
+
+
+def _check_imm(imm: int) -> int:
+    if not isinstance(imm, int) or not _MIN_I32 <= imm <= _MAX_U32:
+        raise AssemblyError(f"immediate out of 32-bit range: {imm!r}")
+    return imm
+
+
+def format_of(op: int) -> str:
+    """Return the format name ('R', 'I', 'LI', 'LOAD', 'STORE', 'B', 'J',
+    'JR', 'SYS') of an opcode."""
+    if op in oc.R_FORMAT:
+        return "R"
+    if op in oc.I_FORMAT:
+        return "I"
+    if op in oc.LI_FORMAT:
+        return "LI"
+    if op in oc.LOAD_FORMAT:
+        return "LOAD"
+    if op in oc.STORE_FORMAT:
+        return "STORE"
+    if op in oc.B_FORMAT:
+        return "B"
+    if op in oc.J_FORMAT:
+        return "J"
+    if op in oc.JR_FORMAT:
+        return "JR"
+    if op in oc.SYS_FORMAT:
+        return "SYS"
+    raise AssemblyError(f"unknown opcode {op!r}")
+
+
+def r_type(op: int, rd: int, rs1: int, rs2: int) -> Instr:
+    if op not in oc.R_FORMAT:
+        raise AssemblyError(f"opcode {op} is not R-format")
+    return (op, _check_reg(rd, "rd"), _check_reg(rs1, "rs1"), _check_reg(rs2, "rs2"))
+
+
+def i_type(op: int, rd: int, rs1: int, imm: int) -> Instr:
+    if op not in oc.I_FORMAT:
+        raise AssemblyError(f"opcode {op} is not I-format")
+    return (op, _check_reg(rd, "rd"), _check_reg(rs1, "rs1"), _check_imm(imm))
+
+
+def li(rd: int, imm: int) -> Instr:
+    return (oc.LI, _check_reg(rd, "rd"), _check_imm(imm), 0)
+
+
+def load(op: int, rd: int, rs1: int, imm: int) -> Instr:
+    if op not in oc.LOAD_FORMAT:
+        raise AssemblyError(f"opcode {op} is not a load")
+    return (op, _check_reg(rd, "rd"), _check_reg(rs1, "rs1"), _check_imm(imm))
+
+
+def store(op: int, rs2: int, rs1: int, imm: int) -> Instr:
+    if op not in oc.STORE_FORMAT:
+        raise AssemblyError(f"opcode {op} is not a store")
+    return (op, _check_reg(rs2, "rs2"), _check_reg(rs1, "rs1"), _check_imm(imm))
+
+
+def branch(op: int, rs1: int, rs2: int, target: int) -> Instr:
+    if op not in oc.B_FORMAT:
+        raise AssemblyError(f"opcode {op} is not a branch")
+    return (op, _check_reg(rs1, "rs1"), _check_reg(rs2, "rs2"), target)
+
+
+def jal(rd: int, target: int) -> Instr:
+    return (oc.JAL, _check_reg(rd, "rd"), target, 0)
+
+
+def jalr(rd: int, rs1: int, imm: int) -> Instr:
+    return (oc.JALR, _check_reg(rd, "rd"), _check_reg(rs1, "rs1"), _check_imm(imm))
+
+
+def halt() -> Instr:
+    return (oc.HALT, 0, 0, 0)
+
+
+def nop() -> Instr:
+    return (oc.NOP, 0, 0, 0)

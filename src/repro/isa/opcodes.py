@@ -1,0 +1,126 @@
+"""Opcode definitions for the repro RISC ISA.
+
+The ISA is a small RV32I-like 32-bit integer instruction set, rich enough to
+express the MediaBench/MiBench kernels while staying fast to interpret.
+Opcodes are plain ints; instructions are 4-tuples ``(op, a, b, c)`` whose
+field meaning depends on the opcode's format (see :mod:`repro.isa.
+instructions`).
+
+Formats
+-------
+``R``    ``(op, rd, rs1, rs2)``        register-register ALU
+``I``    ``(op, rd, rs1, imm)``        register-immediate ALU
+``LI``   ``(op, rd, imm, 0)``          load immediate (full 32-bit)
+``LOAD`` ``(op, rd, rs1, imm)``        ``rd = mem[rs1 + imm]``
+``STORE`` ``(op, rs2, rs1, imm)``      ``mem[rs1 + imm] = rs2``
+``B``    ``(op, rs1, rs2, target)``    conditional branch to instruction index
+``J``    ``(op, rd, target, 0)``       jump-and-link to instruction index
+``JR``   ``(op, rd, rs1, imm)``        jump-and-link-register
+``SYS``  ``(op, 0, 0, 0)``             halt / nop
+"""
+
+from __future__ import annotations
+
+# ALU register-register (format R)
+ADD = 0
+SUB = 1
+MUL = 2
+MULH = 3  # high 32 bits of signed 64-bit product
+DIV = 4  # signed division, truncating toward zero
+REM = 5  # signed remainder
+DIVU = 6
+REMU = 7
+AND = 8
+OR = 9
+XOR = 10
+SLL = 11
+SRL = 12
+SRA = 13
+SLT = 14
+SLTU = 15
+
+# ALU register-immediate (format I)
+ADDI = 16
+ANDI = 17
+ORI = 18
+XORI = 19
+SLLI = 20
+SRLI = 21
+SRAI = 22
+SLTI = 23
+SLTIU = 24
+
+# Constants (format LI)
+LI = 25
+
+# Memory (formats LOAD / STORE); word = 4 bytes, addresses are byte addresses
+LW = 26
+SW = 27
+LB = 28  # sign-extending byte load
+LBU = 29
+SB = 30
+LH = 31  # sign-extending halfword load
+LHU = 32
+SH = 33
+
+# Control flow (formats B / J / JR)
+BEQ = 34
+BNE = 35
+BLT = 36
+BGE = 37
+BLTU = 38
+BGEU = 39
+JAL = 40
+JALR = 41
+
+# System (format SYS)
+HALT = 42
+NOP = 43
+
+NUM_OPCODES = 44
+
+R_FORMAT = frozenset(
+    [ADD, SUB, MUL, MULH, DIV, REM, DIVU, REMU, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU]
+)
+I_FORMAT = frozenset([ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTIU])
+LI_FORMAT = frozenset([LI])
+LOAD_FORMAT = frozenset([LW, LB, LBU, LH, LHU])
+STORE_FORMAT = frozenset([SW, SB, SH])
+B_FORMAT = frozenset([BEQ, BNE, BLT, BGE, BLTU, BGEU])
+J_FORMAT = frozenset([JAL])
+JR_FORMAT = frozenset([JALR])
+SYS_FORMAT = frozenset([HALT, NOP])
+
+MEMORY_OPS = LOAD_FORMAT | STORE_FORMAT
+
+MNEMONICS = {
+    ADD: "add", SUB: "sub", MUL: "mul", MULH: "mulh", DIV: "div", REM: "rem",
+    DIVU: "divu", REMU: "remu", AND: "and", OR: "or", XOR: "xor", SLL: "sll",
+    SRL: "srl", SRA: "sra", SLT: "slt", SLTU: "sltu",
+    ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SLLI: "slli",
+    SRLI: "srli", SRAI: "srai", SLTI: "slti", SLTIU: "sltiu",
+    LI: "li",
+    LW: "lw", SW: "sw", LB: "lb", LBU: "lbu", SB: "sb", LH: "lh", LHU: "lhu",
+    SH: "sh",
+    BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+    JAL: "jal", JALR: "jalr",
+    HALT: "halt", NOP: "nop",
+}
+
+OPCODE_BY_MNEMONIC = {name: op for op, name in MNEMONICS.items()}
+
+# Canonical RISC-V-style register names; x0 is hardwired to zero.
+REGISTER_NAMES = (
+    ["zero", "ra", "sp", "gp", "tp"]
+    + [f"t{i}" for i in range(3)]      # x5-x7
+    + ["s0", "s1"]                     # x8-x9
+    + [f"a{i}" for i in range(8)]      # x10-x17
+    + [f"s{i}" for i in range(2, 12)]  # x18-x27
+    + [f"t{i}" for i in range(3, 7)]   # x28-x31
+)
+assert len(REGISTER_NAMES) == 32
+
+REGISTER_BY_NAME = {name: i for i, name in enumerate(REGISTER_NAMES)}
+REGISTER_BY_NAME.update({f"x{i}": i for i in range(32)})
+
+NUM_REGISTERS = 32

@@ -1,0 +1,19 @@
+"""repro.mem - NVM main memory and the set-associative cache substrate."""
+
+from repro.mem.memsys import FlushReport, MemStats, NoCacheNVP
+from repro.mem.nvm import NVMainMemory, NVMTimings
+from repro.mem.setassoc import (FIFO, LRU, CacheGeometry, CacheLine,
+                                SetAssocArray)
+
+__all__ = [
+    "CacheGeometry",
+    "CacheLine",
+    "FIFO",
+    "FlushReport",
+    "LRU",
+    "MemStats",
+    "NVMTimings",
+    "NVMainMemory",
+    "NoCacheNVP",
+    "SetAssocArray",
+]

@@ -1,0 +1,121 @@
+"""Memory-system protocol, statistics, and the cache-less NVP design.
+
+Every data-memory design (the five cache schemes plus the plain NVP) exposes
+the same duck-typed interface consumed by :class:`~repro.cpu.core.InOrderCore`
+and :class:`~repro.sim.system.System`:
+
+``load(addr, now) -> (value, cycles)``
+    Word-aligned read; ``now`` is the core's absolute cycle counter.
+``store(addr, value, now) -> cycles`` / ``store_masked(addr, bits, mask, now)``
+    Word / sub-word writes.
+``reserve_lines() -> int``
+    How many cache-line NVM writes the design must reserve JIT-checkpoint
+    energy for (0 when the design needs no cache backup).
+``flush_for_checkpoint(now) -> FlushReport``
+    Persist whatever must survive an imminent power failure.
+``on_power_loss()``
+    Drop volatile state (called after the checkpoint completes).
+``on_boot(first) -> cycles``
+    Re-establish cache state at (re)boot; returns restore cycles.
+``finalize(now) -> cycles``
+    Drain/flush at program completion so NVM holds the final image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.nvm import NVMainMemory
+
+
+@dataclass
+class FlushReport:
+    """What a checkpoint flush did (paid for from the reserved energy).
+
+    ``extra_energy_nj`` covers flush energy that does not show up in the
+    main NVM's accumulators (e.g. NVSRAM's SRAM-to-shadow line copies).
+    """
+
+    lines_flushed: int = 0
+    words_flushed: int = 0
+    cycles: int = 0
+    extra_energy_nj: float = 0.0
+
+
+@dataclass
+class MemStats:
+    """Counters shared by all designs; energy in nanojoules."""
+
+    loads: int = 0
+    stores: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    dirty_evictions: int = 0
+    store_stall_cycles: int = 0
+    async_writebacks: int = 0
+    cache_read_energy_nj: float = 0.0
+    cache_write_energy_nj: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        acc = self.loads + self.stores
+        hits = self.read_hits + self.write_hits
+        return hits / acc if acc else 0.0
+
+    @property
+    def cache_energy_nj(self) -> float:
+        return self.cache_read_energy_nj + self.cache_write_energy_nj
+
+
+class NoCacheNVP:
+    """Figure 1(a): plain NVP - every access goes straight to NVM.
+
+    Trivially crash consistent (NVM always current); used as the
+    cache-less reference point and in examples.
+    """
+
+    name = "NoCache"
+    volatile_cache = False
+
+    def __init__(self, nvm: NVMainMemory):
+        self.nvm = nvm
+        self.stats = MemStats()
+
+    def load(self, addr: int, now: int) -> tuple[int, int]:
+        self.stats.loads += 1
+        return self.nvm.read_word(addr)
+
+    def store(self, addr: int, value: int, now: int) -> int:
+        self.stats.stores += 1
+        return self.nvm.write_word(addr, value)
+
+    def store_masked(self, addr: int, bits: int, mask: int, now: int) -> int:
+        self.stats.stores += 1
+        return self.nvm.write_word_masked(addr, bits, mask)
+
+    def reserve_lines(self) -> int:
+        return 0
+
+    def checkpoint_line_energy_nj(self) -> float:
+        return 0.0
+
+    def reserve_extra_energy_nj(self) -> float:
+        return 0.0
+
+    def flush_for_checkpoint(self, now: int) -> FlushReport:
+        return FlushReport()
+
+    def on_power_loss(self) -> None:
+        pass
+
+    def on_boot(self, first: bool) -> int:
+        return 0
+
+    def finalize(self, now: int) -> int:
+        return 0
+
+    def leakage_w(self) -> float:
+        return 0.0

@@ -1,0 +1,6 @@
+"""repro.runtime - NVP runtime pieces: NVFF storage and the watchdog."""
+
+from repro.runtime.nvff import NVFFStore
+from repro.runtime.watchdog import WatchdogTimer
+
+__all__ = ["NVFFStore", "WatchdogTimer"]

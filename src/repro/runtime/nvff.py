@@ -1,0 +1,42 @@
+"""Non-volatile flip-flop (NVFF) checkpoint storage.
+
+NVP-style energy harvesting systems checkpoint volatile architectural state
+into NVFFs adjacent to the registers at power failure and restore it at
+reboot (§2.1). WL-Cache additionally keeps its two thresholds (1 byte each)
+and the last two watchdog power-on times (2 bytes each) in NVFFs (§5.5).
+
+This class is the single place crossing power failures: everything not in
+here or in NVM main memory is lost when the simulator models an outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NVFFStore:
+    """Checkpointed state surviving a power outage."""
+
+    valid: bool = False
+    regs: list[int] = field(default_factory=list)
+    pc: int = 0
+    maxline: int = 0
+    waterline: int = 0
+    #: last two power-on durations (ns), oldest first (§5.5: two 2-byte slots)
+    on_times: list[int] = field(default_factory=list)
+
+    def checkpoint(self, regs: list[int], pc: int, maxline: int,
+                   waterline: int, on_times: list[int]) -> None:
+        self.regs = list(regs)
+        self.pc = pc
+        self.maxline = maxline
+        self.waterline = waterline
+        self.on_times = list(on_times[-2:])
+        self.valid = True
+
+    def restore(self) -> tuple[list[int], int]:
+        """Return (regs, pc); caller re-applies thresholds separately."""
+        if not self.valid:
+            raise ValueError("restore from an empty NVFF store")
+        return (list(self.regs), self.pc)

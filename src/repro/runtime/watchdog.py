@@ -1,0 +1,37 @@
+"""Watchdog timer measuring power-on durations (§4).
+
+The runtime cannot observe power-off time (the core is dead); it measures
+each power-*on* interval instead and uses the last two to estimate energy
+source quality at boot.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class WatchdogTimer:
+    """Measures power-on intervals in nanoseconds of wall-clock time."""
+
+    def __init__(self) -> None:
+        self._started_at: int | None = None
+        self.intervals: list[int] = []
+
+    def start(self, t_ns: int) -> None:
+        if self._started_at is not None:
+            raise ReproError("watchdog started twice without stop")
+        self._started_at = t_ns
+
+    def stop(self, t_ns: int) -> int:
+        if self._started_at is None:
+            raise ReproError("watchdog stopped without start")
+        dur = t_ns - self._started_at
+        if dur < 0:
+            raise ReproError("watchdog time went backwards")
+        self._started_at = None
+        self.intervals.append(dur)
+        return dur
+
+    @property
+    def last_two(self) -> list[int]:
+        return self.intervals[-2:]

@@ -1,0 +1,19 @@
+"""repro.sim - full-system simulation."""
+
+from repro.sim.config import BASELINE_DESIGN, DESIGNS, SimConfig
+from repro.sim.factory import build_design, build_system, run_one
+from repro.sim.results import EnergyBreakdown, PeriodStats, RunResult
+from repro.sim.system import System
+
+__all__ = [
+    "BASELINE_DESIGN",
+    "DESIGNS",
+    "EnergyBreakdown",
+    "PeriodStats",
+    "RunResult",
+    "SimConfig",
+    "System",
+    "build_design",
+    "build_system",
+    "run_one",
+]

@@ -1,0 +1,58 @@
+"""Sweep helpers: run program x design x trace grids and collect results.
+
+The benchmark harness is built on these. ``REPRO_BENCH_SCALE`` (env var)
+scales workload sizes globally; the paper's trace names ('trace1',
+'trace2', 'trace3', 'solar', 'thermal') or None (no failures) select the
+power condition.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+from repro.sim.config import BASELINE_DESIGN, DESIGNS, SimConfig
+from repro.sim.factory import run_one
+from repro.sim.results import RunResult
+from repro.workloads import ALL_WORKLOADS, build_workload, verify_checks
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Workload scale for benchmarks, overridable via REPRO_BENCH_SCALE."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def run_grid(workloads: Iterable[str] | None = None,
+             designs: Iterable[str] = DESIGNS,
+             trace: str | None = "trace1",
+             config: SimConfig | None = None,
+             scale: float | None = None,
+             verify: bool = True,
+             **overrides) -> dict[tuple[str, str], RunResult]:
+    """Run every (workload, design) pair; returns results keyed by the pair.
+
+    Every run gets a fresh trace instance (same seed), so designs see
+    identical harvesting conditions.
+    """
+    workloads = list(workloads) if workloads is not None else list(ALL_WORKLOADS)
+    scale = bench_scale() if scale is None else scale
+    out: dict[tuple[str, str], RunResult] = {}
+    for wname in workloads:
+        prog = build_workload(wname, scale)
+        for design in designs:
+            res = run_one(prog, design, trace, config, **overrides)
+            if verify:
+                verify_checks(prog, res.final_memory)
+            out[(wname, design)] = res
+    return out
+
+
+def speedups_vs_baseline(results: dict[tuple[str, str], RunResult],
+                         baseline: str = BASELINE_DESIGN
+                         ) -> dict[tuple[str, str], float]:
+    """Normalized speedup of each run against the baseline on the same app."""
+    out = {}
+    for (wname, design), res in results.items():
+        base = results[(wname, baseline)]
+        out[(wname, design)] = base.total_time_ns / res.total_time_ns
+    return out

@@ -1,0 +1,18 @@
+"""repro.verify - crash-consistency verification and fault injection."""
+
+from repro.verify.checker import (CheckReport, Divergence,
+                                  check_crash_consistency, compare_states)
+from repro.verify.faults import BrokenWLCacheNoCleanFirst, VCacheWBNoCheckpoint
+from repro.verify.oracle import FunctionalMemory, OracleResult, run_oracle
+
+__all__ = [
+    "BrokenWLCacheNoCleanFirst",
+    "CheckReport",
+    "Divergence",
+    "FunctionalMemory",
+    "OracleResult",
+    "VCacheWBNoCheckpoint",
+    "check_crash_consistency",
+    "compare_states",
+    "run_oracle",
+]

@@ -1,0 +1,66 @@
+"""Deliberately broken designs for fault-injection testing.
+
+These exist to prove the checker has teeth and to demonstrate *why* the
+paper's protocol details matter:
+
+* :class:`BrokenWLCacheNoCleanFirst` omits §5.3 step 1 (mark the line clean
+  *before* issuing the asynchronous write-back). As the paper's WX=1/WX=2
+  walkthrough shows, a store that lands while the write-back is in flight
+  then fails to re-insert the line into the DirtyQueue; once the ACK
+  removes the entry, a power failure silently loses the newer value.
+* :class:`VCacheWBNoCheckpoint` is a plain volatile write-back cache with
+  no JIT checkpointing at all - the design energy harvesting systems
+  cannot use (§1), losing every dirty line at each outage.
+"""
+
+from __future__ import annotations
+
+from repro.caches.nvsram import NVSRAMIdeal
+from repro.core.wl_cache import PendingWB, WLCache
+from repro.mem.memsys import FlushReport
+
+
+class BrokenWLCacheNoCleanFirst(WLCache):
+    """WL-Cache without the clean-first ordering of §5.3 step 1."""
+
+    name = "WL-Cache(broken:no-clean-first)"
+
+    def _issue_writeback(self, t: int) -> None:
+        entry = self.dq.select_victim(self.array)
+        if entry is None:
+            return
+        line = self.array.peek(entry.lineno << self.array.line_shift)
+        # BUG under test: the line stays dirty while the write-back is in
+        # flight, so a store to it does not re-insert a DirtyQueue entry.
+        entry.in_flight = True
+        addr = self.array.line_addr(line)
+        ack = max(t, self._channel_free) + self.nvm.timings.line_write(
+            len(line.data))
+        self._channel_free = ack
+        self.pending.append(PendingWB(ack, entry.lineno, addr,
+                                      list(line.data), entry))
+        self.stats.async_writebacks += 1
+
+    def _retire_pending(self, p: PendingWB) -> None:
+        # the ACK also (wrongly) clears the dirty bit: the hardware believes
+        # the line is persisted even though a newer store may have landed
+        line = self.array.peek(p.lineno << self.array.line_shift)
+        if line is not None:
+            line.dirty = False
+        super()._retire_pending(p)
+
+
+class VCacheWBNoCheckpoint(NVSRAMIdeal):
+    """Volatile write-back cache with no backup path whatsoever."""
+
+    name = "VCache-WB(no-checkpoint)"
+
+    def reserve_lines(self) -> int:
+        return 0
+
+    def flush_for_checkpoint(self, now: int) -> FlushReport:
+        return FlushReport()  # dirty lines are simply lost
+
+    def on_boot(self, first: bool) -> int:
+        self._backup = []
+        return 0

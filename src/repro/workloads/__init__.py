@@ -1,0 +1,77 @@
+"""repro.workloads - the 23 MediaBench/MiBench benchmark kernels (§6.1).
+
+Every kernel is a real implementation of the named algorithm written in the
+builder DSL over deterministic synthetic inputs, with results verified
+against a host-Python (or numpy/hashlib) reference embedded as
+``program.meta["checks"]``.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload, verify_checks
+
+_MEDIA = [
+    "adpcmdecode", "adpcmencode", "epic", "g721decode", "g721encode",
+    "gsmdecode", "gsmencode", "jpegdecode", "jpegencode", "mpeg2decode",
+    "mpeg2encode", "pegwitdecrypt", "sha", "susancorners", "susanedges",
+]
+_MI = [
+    "basicmath", "qsort", "dijkstra", "fft", "fft_i", "patricia",
+    "rijndael_d", "rijndael_e",
+]
+
+# one module may implement both directions of a codec pair; map
+# workload name -> (module subpath, builder function)
+_MODULE_OVERRIDES = {
+    "adpcmdecode": ("mediabench.adpcm", "build_adpcmdecode"),
+    "adpcmencode": ("mediabench.adpcm", "build_adpcmencode"),
+    "g721decode": ("mediabench.g721", "build_g721decode"),
+    "g721encode": ("mediabench.g721", "build_g721encode"),
+    "gsmdecode": ("mediabench.gsm", "build_gsmdecode"),
+    "gsmencode": ("mediabench.gsm", "build_gsmencode"),
+    "jpegdecode": ("mediabench.jpeg", "build_jpegdecode"),
+    "jpegencode": ("mediabench.jpeg", "build_jpegencode"),
+    "mpeg2decode": ("mediabench.mpeg2", "build_mpeg2decode"),
+    "mpeg2encode": ("mediabench.mpeg2", "build_mpeg2encode"),
+    "pegwitdecrypt": ("mediabench.pegwit", "build_pegwitdecrypt"),
+    "susancorners": ("mediabench.susan", "build_susancorners"),
+    "susanedges": ("mediabench.susan", "build_susanedges"),
+    "fft": ("mibench.fft", "build_fft"),
+    "fft_i": ("mibench.fft", "build_fft_i"),
+    "rijndael_d": ("mibench.rijndael", "build_rijndael_d"),
+    "rijndael_e": ("mibench.rijndael", "build_rijndael_e"),
+}
+
+MEDIABENCH = tuple(_MEDIA)
+MIBENCH = tuple(_MI)
+ALL_WORKLOADS = MEDIABENCH + MIBENCH
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by its paper name (e.g. 'sha', 'fft_i')."""
+    if name not in ALL_WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; have {ALL_WORKLOADS}")
+    if name not in _REGISTRY:
+        suite = "mediabench" if name in _MEDIA else "mibench"
+        subpath, func = _MODULE_OVERRIDES.get(name, (f"{suite}.{name}", "build"))
+        _REGISTRY[name] = Workload(name, suite,
+                                   f"repro.workloads.{subpath}", func)
+    return _REGISTRY[name]
+
+
+def build_workload(name: str, scale: float = 1.0):
+    """Build the named workload's :class:`Program` (cached per scale)."""
+    return get_workload(name).build(scale)
+
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "MEDIABENCH",
+    "MIBENCH",
+    "Workload",
+    "build_workload",
+    "get_workload",
+    "verify_checks",
+]

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark kernels."""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.builder import ProgramBuilder, Reg
+
+U32 = 0xFFFFFFFF
+
+
+def rng(seed: int) -> random.Random:
+    """Deterministic input generator; every kernel derives its data here."""
+    return random.Random(seed)
+
+
+def words(rnd: random.Random, n: int, lo: int = 0, hi: int = U32) -> list[int]:
+    return [rnd.randint(lo, hi) for _ in range(n)]
+
+
+def scaled(n: int, scale: float, minimum: int = 1) -> int:
+    """Scale a size parameter, keeping it at least ``minimum``."""
+    return max(minimum, int(round(n * scale)))
+
+
+def to_s32(x: int) -> int:
+    x &= U32
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+def emit_rotl(b: ProgramBuilder, dst: Reg, src: Reg, amount: int,
+              tmp: Reg) -> None:
+    """dst = src rotated left by a constant amount (clobbers tmp)."""
+    b.slli(tmp, src, amount)
+    b.srli(dst, src, 32 - amount)
+    b.or_(dst, dst, tmp)

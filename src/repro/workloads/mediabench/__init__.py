@@ -1,0 +1,1 @@
+"""MediaBench workload kernels."""

@@ -1,0 +1,227 @@
+"""adpcmencode / adpcmdecode - IMA ADPCM speech codec (MediaBench).
+
+Full IMA/DVI ADPCM: the standard 89-entry step-size table and index
+adaptation table, 16-bit PCM in, 4-bit codes out (encode) and back
+(decode). Input is a deterministic synthetic speech-like signal (summed
+sines + noise). Host mirrors are integer-exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled
+
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41,
+    45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190,
+    209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724,
+    796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
+    7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500,
+    20350, 22385, 24623, 27086, 29794, 32767,
+]
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+
+def _signal(n: int) -> list[int]:
+    rnd = rng(0xADC)
+    out = []
+    for i in range(n):
+        v = (6000 * math.sin(i * 0.05) + 2500 * math.sin(i * 0.23 + 1.0)
+             + rnd.randint(-700, 700))
+        out.append(max(-32768, min(32767, int(v))))
+    return out
+
+
+def encode_host(samples: list[int]) -> tuple[list[int], int, int]:
+    """IMA ADPCM encode; returns (codes, final_pred, final_index)."""
+    pred, index = 0, 0
+    codes = []
+    for s in samples:
+        step = STEP_TABLE[index]
+        diff = s - pred
+        code = 0
+        if diff < 0:
+            code = 8
+            diff = -diff
+        if diff >= step:
+            code |= 4
+            diff -= step
+        if diff >= step >> 1:
+            code |= 2
+            diff -= step >> 1
+        if diff >= step >> 2:
+            code |= 1
+        # reconstruct predictor exactly as the decoder will
+        diffq = step >> 3
+        if code & 4:
+            diffq += step
+        if code & 2:
+            diffq += step >> 1
+        if code & 1:
+            diffq += step >> 2
+        pred = pred - diffq if code & 8 else pred + diffq
+        pred = max(-32768, min(32767, pred))
+        index = max(0, min(88, index + INDEX_TABLE[code]))
+        codes.append(code)
+    return codes, pred, index
+
+
+def decode_host(codes: list[int]) -> list[int]:
+    pred, index = 0, 0
+    out = []
+    for code in codes:
+        step = STEP_TABLE[index]
+        diffq = step >> 3
+        if code & 4:
+            diffq += step
+        if code & 2:
+            diffq += step >> 1
+        if code & 1:
+            diffq += step >> 2
+        pred = pred - diffq if code & 8 else pred + diffq
+        pred = max(-32768, min(32767, pred))
+        index = max(0, min(88, index + INDEX_TABLE[code]))
+        out.append(pred)
+    return out
+
+
+def _clamp16(b, reg, t):
+    """reg = clamp(reg, -32768, 32767) (signed), clobbers t."""
+    b.li(t, 32767)
+    with b.if_(reg, ">", t):
+        b.mv(reg, t)
+    b.li(t, -32768)
+    with b.if_(reg, "<", t):
+        b.mv(reg, t)
+
+
+def _emit_reconstruct(b, pred, code, step, diffq, t):
+    """Shared decoder arithmetic: update pred from code/step."""
+    b.srli(diffq, step, 3)
+    b.andi(t, code, 4)
+    with b.if_(t, "!=", 0):
+        b.add(diffq, diffq, step)
+    b.andi(t, code, 2)
+    with b.if_(t, "!=", 0):
+        b.srli(t, step, 1)
+        b.add(diffq, diffq, t)
+    b.andi(t, code, 1)
+    with b.if_(t, "!=", 0):
+        b.srli(t, step, 2)
+        b.add(diffq, diffq, t)
+    b.andi(t, code, 8)
+    with b.if_else(t, "!=", 0) as plus:
+        b.sub(pred, pred, diffq)
+        plus()
+        b.add(pred, pred, diffq)
+    _clamp16(b, pred, t)
+
+
+def _emit_index_update(b, index, code, t, u):
+    """index = clamp(index + INDEX_TABLE[code], 0, 88) via table load."""
+    b.slli(t, code, 2)
+    b.li(u, b.symbol("index_table"))
+    b.add(t, t, u)
+    b.lw(t, t, 0)
+    b.add(index, index, t)
+    with b.if_(index, "<", 0):
+        b.li(index, 0)
+    b.li(t, 88)
+    with b.if_(index, ">", t):
+        b.mv(index, t)
+
+
+def build_adpcmencode(scale: float = 1.0) -> Program:
+    n = scaled(2400, scale, minimum=2)
+    samples = _signal(n)
+
+    b = ProgramBuilder("adpcmencode")
+    b.data_words([v & 0xFFFFFFFF for v in STEP_TABLE], "step_table")
+    b.data_words([v & 0xFFFFFFFF for v in INDEX_TABLE], "index_table")
+    in_addr = b.data_words([s & 0xFFFFFFFF for s in samples], "pcm_in")
+    out_addr = b.space_words(n, "codes_out")
+
+    i, s, pred, index = b.regs("i", "s", "pred", "index")
+    step, diff, code, diffq = b.regs("step", "diff", "code", "diffq")
+    t, u, inp, outp = b.regs("t", "u", "inp", "outp")
+
+    b.li(pred, 0)
+    b.li(index, 0)
+    b.li(inp, in_addr)
+    b.li(outp, out_addr)
+    with b.for_range(i, 0, n):
+        b.lw(s, inp, 0)
+        b.addi(inp, inp, 4)
+        # step = STEP_TABLE[index]
+        b.slli(t, index, 2)
+        b.li(u, b.symbol("step_table"))
+        b.add(t, t, u)
+        b.lw(step, t, 0)
+        b.sub(diff, s, pred)
+        b.li(code, 0)
+        with b.if_(diff, "<", 0):
+            b.li(code, 8)
+            b.neg(diff, diff)
+        with b.if_(diff, ">=", step):
+            b.ori(code, code, 4)
+            b.sub(diff, diff, step)
+        b.srli(t, step, 1)
+        with b.if_(diff, ">=", t):
+            b.ori(code, code, 2)
+            b.sub(diff, diff, t)
+        b.srli(t, step, 2)
+        with b.if_(diff, ">=", t):
+            b.ori(code, code, 1)
+        _emit_reconstruct(b, pred, code, step, diffq, t)
+        _emit_index_update(b, index, code, t, u)
+        b.sw(code, outp, 0)
+        b.addi(outp, outp, 4)
+    b.halt()
+
+    prog = b.build()
+    codes, _, _ = encode_host(samples)
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [(out_addr, codes)]
+    return prog
+
+
+def build_adpcmdecode(scale: float = 1.0) -> Program:
+    n = scaled(2600, scale, minimum=2)
+    codes, _, _ = encode_host(_signal(n))
+
+    b = ProgramBuilder("adpcmdecode")
+    b.data_words([v & 0xFFFFFFFF for v in STEP_TABLE], "step_table")
+    b.data_words([v & 0xFFFFFFFF for v in INDEX_TABLE], "index_table")
+    in_addr = b.data_words(codes, "codes_in")
+    out_addr = b.space_words(n, "pcm_out")
+
+    i, pred, index = b.regs("i", "pred", "index")
+    step, code, diffq = b.regs("step", "code", "diffq")
+    t, u, inp, outp = b.regs("t", "u", "inp", "outp")
+
+    b.li(pred, 0)
+    b.li(index, 0)
+    b.li(inp, in_addr)
+    b.li(outp, out_addr)
+    with b.for_range(i, 0, n):
+        b.lw(code, inp, 0)
+        b.addi(inp, inp, 4)
+        b.slli(t, index, 2)
+        b.li(u, b.symbol("step_table"))
+        b.add(t, t, u)
+        b.lw(step, t, 0)
+        _emit_reconstruct(b, pred, code, step, diffq, t)
+        _emit_index_update(b, index, code, t, u)
+        b.sw(pred, outp, 0)
+        b.addi(outp, outp, 4)
+    b.halt()
+
+    prog = b.build()
+    pcm = decode_host(codes)
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [(out_addr, [v & 0xFFFFFFFF for v in pcm])]
+    return prog

@@ -1,0 +1,238 @@
+"""epic - image pyramid coder (MediaBench).
+
+EPIC's core: a separable binomial [1 4 6 4 1]/16 low-pass filter with
+mirrored borders, 2:1 decimation into a two-level pyramid, and uniform
+quantization of the detail (residual) band - the filter/downsample/quantize
+chain that dominates the real epic encoder. Integer-exact host mirror.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled
+
+_KERNEL = [1, 4, 6, 4, 1]  # /16
+_QSTEP = 8
+
+
+def _image(w: int, h: int, seed: int) -> list[int]:
+    rnd = rng(seed)
+    img = []
+    for y in range(h):
+        for x in range(w):
+            v = (128 + 60 * math.sin(0.21 * x) * math.cos(0.17 * y)
+                 + rnd.randint(-10, 10))
+            img.append(max(0, min(255, int(v))))
+    return img
+
+
+def _mirror(i: int, n: int) -> int:
+    if i < 0:
+        return -i
+    if i >= n:
+        return 2 * n - 2 - i
+    return i
+
+
+def _filter_rows(img: list[int], w: int, h: int) -> list[int]:
+    out = [0] * (w * h)
+    for y in range(h):
+        for x in range(w):
+            acc = 0
+            for k in range(5):
+                acc += _KERNEL[k] * img[y * w + _mirror(x + k - 2, w)]
+            out[y * w + x] = acc >> 4
+    return out
+
+
+def _filter_cols(img: list[int], w: int, h: int) -> list[int]:
+    out = [0] * (w * h)
+    for y in range(h):
+        for x in range(w):
+            acc = 0
+            for k in range(5):
+                acc += _KERNEL[k] * img[_mirror(y + k - 2, h) * w + x]
+            out[y * w + x] = acc >> 4
+    return out
+
+
+def _decimate(img: list[int], w: int, h: int) -> list[int]:
+    return [img[y * w + x] for y in range(0, h, 2) for x in range(0, w, 2)]
+
+
+def _quant_residual(img: list[int], low: list[int], w: int, h: int,
+                    w2: int) -> list[int]:
+    """Residual = pixel - upsampled(low); uniform mid-tread quantizer."""
+    out = []
+    for y in range(h):
+        for x in range(w):
+            up = low[(y // 2) * w2 + (x // 2)]
+            r = img[y * w + x] - up
+            if r >= 0:
+                q = (r + _QSTEP // 2) // _QSTEP
+            else:
+                q = -((-r + _QSTEP // 2) // _QSTEP)
+            out.append(q & 0xFFFFFFFF)
+    return out
+
+
+def pyramid_host(img: list[int], w: int, h: int):
+    lp = _filter_cols(_filter_rows(img, w, h), w, h)
+    lvl1 = _decimate(lp, w, h)
+    w1, h1 = w // 2, h // 2
+    res0 = _quant_residual(img, lvl1, w, h, w1)
+    lp1 = _filter_cols(_filter_rows(lvl1, w1, h1), w1, h1)
+    lvl2 = _decimate(lp1, w1, h1)
+    res1 = _quant_residual(lvl1, lvl2, w1, h1, w1 // 2)
+    return lvl1, res0, lvl2, res1
+
+
+def _emit_filter(b, src_addr, dst_addr, w, h, horizontal, regs):
+    """Separable 5-tap filter pass with mirrored borders."""
+    y, x, k, acc, idx, t, u = regs
+    n = w if horizontal else h
+    with b.for_range(y, 0, h):
+        with b.for_range(x, 0, w):
+            b.li(acc, 0)
+            for ki in range(5):
+                # idx = mirror((x|y) + ki - 2, n)
+                b.mv(idx, x if horizontal else y)
+                if ki != 2:
+                    b.addi(idx, idx, ki - 2)
+                with b.if_(idx, "<", 0):
+                    b.neg(idx, idx)
+                b.li(t, n)
+                with b.if_(idx, ">=", t):
+                    b.li(t, 2 * n - 2)
+                    b.sub(idx, t, idx)
+                # u = src[y*w + idx] or src[idx*w + x]
+                if horizontal:
+                    b.li(t, w)
+                    b.mul(t, y, t)
+                    b.add(t, t, idx)
+                else:
+                    b.li(t, w)
+                    b.mul(t, idx, t)
+                    b.add(t, t, x)
+                b.slli(t, t, 2)
+                b.addi(t, t, src_addr)
+                b.lw(u, t, 0)
+                kcoef = _KERNEL[ki]
+                if kcoef == 1:
+                    b.add(acc, acc, u)
+                elif kcoef == 4:
+                    b.slli(u, u, 2)
+                    b.add(acc, acc, u)
+                else:  # 6 = 4 + 2
+                    b.slli(t, u, 2)
+                    b.add(acc, acc, t)
+                    b.slli(t, u, 1)
+                    b.add(acc, acc, t)
+            b.srai(acc, acc, 4)
+            b.li(t, w)
+            b.mul(t, y, t)
+            b.add(t, t, x)
+            b.slli(t, t, 2)
+            b.addi(t, t, dst_addr)
+            b.sw(acc, t, 0)
+
+
+def _emit_decimate(b, src_addr, dst_addr, w, h, regs):
+    y, x, t, u = regs
+    with b.for_range(y, 0, h // 2):
+        with b.for_range(x, 0, w // 2):
+            b.slli(t, y, 1)
+            b.li(u, w)
+            b.mul(t, t, u)
+            b.slli(u, x, 1)
+            b.add(t, t, u)
+            b.slli(t, t, 2)
+            b.addi(t, t, src_addr)
+            b.lw(u, t, 0)
+            b.li(t, w // 2)
+            b.mul(t, y, t)
+            b.add(t, t, x)
+            b.slli(t, t, 2)
+            b.addi(t, t, dst_addr)
+            b.sw(u, t, 0)
+
+
+def _emit_residual(b, img_addr, low_addr, out_addr, w, h, regs):
+    y, x, t, u, v = regs
+    with b.for_range(y, 0, h):
+        with b.for_range(x, 0, w):
+            b.li(t, w)
+            b.mul(t, y, t)
+            b.add(t, t, x)
+            b.slli(t, t, 2)
+            b.addi(t, t, img_addr)
+            b.lw(u, t, 0)
+            b.srli(t, y, 1)
+            b.li(v, w // 2)
+            b.mul(t, t, v)
+            b.srli(v, x, 1)
+            b.add(t, t, v)
+            b.slli(t, t, 2)
+            b.addi(t, t, low_addr)
+            b.lw(v, t, 0)
+            b.sub(u, u, v)
+            # mid-tread quantizer, round half away from zero
+            with b.if_else(u, ">=", 0) as negv:
+                b.addi(u, u, _QSTEP // 2)
+                b.srai(u, u, 3)
+                negv()
+                b.neg(u, u)
+                b.addi(u, u, _QSTEP // 2)
+                b.srai(u, u, 3)
+                b.neg(u, u)
+            b.li(t, w)
+            b.mul(t, y, t)
+            b.add(t, t, x)
+            b.slli(t, t, 2)
+            b.addi(t, t, out_addr)
+            b.sw(u, t, 0)
+
+
+def build(scale: float = 1.0) -> Program:
+    side = 8 * max(2, int(round(3 * math.sqrt(scale))))  # 24 at scale 1
+    w = h = side
+    img = _image(w, h, 0xE71C)
+    w1, h1 = w // 2, h // 2
+
+    b = ProgramBuilder("epic")
+    img_addr = b.data_words(img, "image")
+    tmp_a = b.space_words(w * h, "tmp_a")
+    tmp_b = b.space_words(w * h, "tmp_b")
+    lvl1_addr = b.space_words(w1 * h1, "level1")
+    res0_addr = b.space_words(w * h, "res0")
+    lvl2_addr = b.space_words((w1 // 2) * (h1 // 2), "level2")
+    res1_addr = b.space_words(w1 * h1, "res1")
+
+    y, x, k, acc, idx, t, u, v = b.regs("y", "x", "k", "acc", "idx", "t",
+                                        "u", "v")
+    fregs = (y, x, k, acc, idx, t, u)
+
+    _emit_filter(b, img_addr, tmp_a, w, h, True, fregs)
+    _emit_filter(b, tmp_a, tmp_b, w, h, False, fregs)
+    _emit_decimate(b, tmp_b, lvl1_addr, w, h, (y, x, t, u))
+    _emit_residual(b, img_addr, lvl1_addr, res0_addr, w, h, (y, x, t, u, v))
+    _emit_filter(b, lvl1_addr, tmp_a, w1, h1, True, fregs)
+    _emit_filter(b, tmp_a, tmp_b, w1, h1, False, fregs)
+    _emit_decimate(b, tmp_b, lvl2_addr, w1, h1, (y, x, t, u))
+    _emit_residual(b, lvl1_addr, lvl2_addr, res1_addr, w1, h1,
+                   (y, x, t, u, v))
+    b.halt()
+
+    prog = b.build()
+    lvl1, res0, lvl2, res1 = pyramid_host(img, w, h)
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [
+        (lvl1_addr, lvl1),
+        (res0_addr, res0),
+        (lvl2_addr, lvl2),
+        (res1_addr, res1),
+    ]
+    return prog

@@ -1,0 +1,285 @@
+"""gsmencode / gsmdecode - GSM 06.10 long-term predictor kernels (MediaBench).
+
+GSM full-rate's computational core is the long-term predictor (LTP):
+
+* **encode**: for each 40-sample subframe, find the lag in [40, 120] that
+  maximizes the cross-correlation with reconstructed history, then compute
+  the quantized LTP gain (bc) from the 06.10 DLB thresholds - the exact
+  MAC-heavy search loop that dominates MediaBench's gsmencode.
+* **decode**: LTP synthesis - rebuild each subframe from the transmitted
+  (lag, gain, residual) stream using the 06.10 QLB gain table.
+
+Both sides are integer-exact against host mirrors. The RPE grid selection
+and short-term LPC lattice are omitted (DESIGN.md records the
+substitution); the LTP loop is the dominant kernel the paper's cache
+behavior depends on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled
+
+_SUB = 40  # subframe length
+_LAG_MIN, _LAG_MAX = 40, 120
+# GSM 06.10 DLB/QLB gain quantizer tables (Q15)
+_DLB = [6554, 16384, 26214, 32767]
+_QLB = [3277, 11469, 21299, 32767]
+
+
+def _speech(n: int, seed: int) -> list[int]:
+    rnd = rng(seed)
+    out = []
+    for i in range(n):
+        v = (4200 * math.sin(i * 0.09) + 2400 * math.sin(i * 0.47 + 0.6)
+             + rnd.randint(-500, 500))
+        out.append(max(-32768, min(32767, int(v))))
+    return out
+
+
+def _quantize_gain(num: int, den: int) -> int:
+    """06.10-style gain index from correlation/energy (both >= 0)."""
+    for bc in range(3):
+        # gain < DLB[bc] <=> num * 32768 < DLB[bc] * den
+        if num * 32768 < _DLB[bc] * den:
+            return bc
+    return 3
+
+
+def encode_host(speech: list[int], nsub: int) -> list[tuple[int, int]]:
+    """Returns (lag, bc) per subframe, correlating against past speech."""
+    out = []
+    for sf in range(nsub):
+        base = _LAG_MAX + sf * _SUB
+        best_lag, best_corr = _LAG_MIN, -(1 << 62)
+        for lag in range(_LAG_MIN, _LAG_MAX + 1):
+            corr = 0
+            for k in range(_SUB):
+                corr += speech[base + k] * speech[base + k - lag]
+            if corr > best_corr:
+                best_corr, best_lag = corr, lag
+        energy = 0
+        for k in range(_SUB):
+            s = speech[base + k - best_lag]
+            energy += s * s
+        num = best_corr if best_corr > 0 else 0
+        bc = _quantize_gain(num, energy) if energy > 0 else 0
+        out.append((best_lag, bc))
+    return out
+
+
+def decode_host(params: list[tuple[int, int]], residual: list[int],
+                nsub: int) -> list[int]:
+    hist = [0] * (_LAG_MAX + nsub * _SUB)
+    for sf, (lag, bc) in enumerate(params):
+        base = _LAG_MAX + sf * _SUB
+        gain = _QLB[bc]
+        for k in range(_SUB):
+            pred = (gain * hist[base + k - lag]) >> 15
+            v = pred + residual[sf * _SUB + k]
+            hist[base + k] = max(-32768, min(32767, v))
+    return hist[_LAG_MAX:]
+
+
+def build_gsmencode(scale: float = 1.0) -> Program:
+    nsub = scaled(3, scale, minimum=1)
+    n = _LAG_MAX + nsub * _SUB
+    speech = _speech(n, 0x65E)
+
+    b = ProgramBuilder("gsmencode")
+    sp_addr = b.data_words([v & 0xFFFFFFFF for v in speech], "speech")
+    lag_out = b.space_words(nsub, "lags")
+    bc_out = b.space_words(nsub, "gains")
+    b.data_words(_DLB, "dlb")
+
+    sf, lag, k, corr = b.regs("sf", "lag", "k", "corr")
+    best_lag, best_hi, best_lo = b.regs("best_lag", "best_hi", "best_lo")
+    base_p, lag_p, t, u, v = b.regs("base_p", "lag_p", "t", "u", "v")
+    hi, lo, num = b.regs("hi", "lo", "num")
+
+    with b.for_range(sf, 0, nsub):
+        # base_p = &speech[LAG_MAX + sf*SUB]
+        b.li(t, _SUB * 4)
+        b.mul(base_p, sf, t)
+        b.li(t, sp_addr + _LAG_MAX * 4)
+        b.add(base_p, base_p, t)
+        b.li(best_lag, _LAG_MIN)
+        b.li(best_hi, -(1 << 31))
+        b.li(best_lo, 0)
+        # 64-bit correlations: accumulate hi:lo (lo unsigned, hi signed)
+        with b.for_range(lag, _LAG_MIN, _LAG_MAX + 1):
+            b.li(hi, 0)
+            b.li(lo, 0)
+            b.slli(lag_p, lag, 2)
+            b.sub(lag_p, base_p, lag_p)
+            with b.for_range(k, 0, _SUB):
+                b.slli(t, k, 2)
+                b.add(u, base_p, t)
+                b.lw(u, u, 0)
+                b.add(v, lag_p, t)
+                b.lw(v, v, 0)
+                b.mul(t, u, v)      # low 32
+                b.mulh(v, u, v)     # high 32 (signed)
+                b.add(lo, lo, t)
+                b.sltu(t, lo, t)    # carry out of low word
+                b.add(hi, hi, v)
+                b.add(hi, hi, t)
+            # compare (hi, lo) > (best_hi, best_lo) as signed 64-bit
+            with b.if_else(hi, "==", best_hi) as diff_hi:
+                with b.if_(lo, ">u", best_lo):
+                    b.mv(best_hi, hi)
+                    b.mv(best_lo, lo)
+                    b.mv(best_lag, lag)
+                diff_hi()
+                with b.if_(hi, ">", best_hi):
+                    b.mv(best_hi, hi)
+                    b.mv(best_lo, lo)
+                    b.mv(best_lag, lag)
+        # energy of the best-lag history window (fits 64 bits; hi:lo again)
+        en_hi, en_lo = b.regs("en_hi", "en_lo")
+        b.li(en_hi, 0)
+        b.li(en_lo, 0)
+        b.slli(lag_p, best_lag, 2)
+        b.sub(lag_p, base_p, lag_p)
+        with b.for_range(k, 0, _SUB):
+            b.slli(t, k, 2)
+            b.add(u, lag_p, t)
+            b.lw(u, u, 0)
+            b.mul(t, u, u)
+            b.mulh(v, u, u)
+            b.add(en_lo, en_lo, t)
+            b.sltu(t, en_lo, t)
+            b.add(en_hi, en_hi, v)
+            b.add(en_hi, en_hi, t)
+        # bc via DLB thresholds: num*2^15 < DLB[bc]*den, 64-bit safe.
+        # num = max(best_corr, 0); den = energy. Both fit in ~45 bits, so
+        # compare (num << 15) hi:lo against DLB*den hi:lo.
+        bc = num  # alias: reuse register
+        b.li(bc, 3)
+        with b.if_(en_hi, "==", 0):
+            with b.if_(en_lo, "==", 0):
+                b.li(bc, 0)
+        neg = b.reg("neg")
+        b.slt(neg, best_hi, b.zero)  # correlation negative -> num = 0
+        has_energy = b.reg("has_energy")
+        b.snez(has_energy, en_hi)
+        b.snez(t, en_lo)
+        b.or_(has_energy, has_energy, t)
+        with b.if_(has_energy, "!=", 0):
+            with b.if_else(neg, "!=", 0) as pos:
+                b.li(bc, 0)
+                pos()
+                # scan thresholds from 0 upward
+                b.li(bc, 3)
+                for idx in range(2, -1, -1):
+                    # lhs = num << 15 (num = best_hi:best_lo)
+                    b.slli(u, best_hi, 15)
+                    b.srli(t, best_lo, 17)
+                    b.or_(u, u, t)      # lhs_hi
+                    b.slli(v, best_lo, 15)  # lhs_lo
+                    # rhs = DLB[idx] * en (32x64 -> keep hi:lo)
+                    dlb = _DLB[idx]
+                    rh, rl = b.regs("rh", "rl")
+                    b.li(t, dlb)
+                    b.mul(rl, en_lo, t)
+                    b.mulh(rh, en_lo, t)  # en_lo signed? en_lo is u32 -> fix below
+                    # correct unsigned mulh: if en_lo has top bit, add dlb
+                    b.slt(lag_p, en_lo, b.zero)
+                    with b.if_(lag_p, "!=", 0):
+                        b.add(rh, rh, t)
+                    b.mul(t, en_hi, t)
+                    b.add(rh, rh, t)
+                    # if lhs < rhs (unsigned 64, both non-negative): bc = idx
+                    with b.if_else(u, "==", rh) as neq:
+                        with b.if_(v, "<u", rl):
+                            b.li(bc, idx)
+                        neq()
+                        with b.if_(u, "<u", rh):
+                            b.li(bc, idx)
+                    b.free(rh, rl)
+        b.slli(t, sf, 2)
+        b.li(u, lag_out)
+        b.add(u, u, t)
+        b.sw(best_lag, u, 0)
+        b.li(u, bc_out)
+        b.add(u, u, t)
+        b.sw(bc, u, 0)
+        b.free(en_hi, en_lo, neg, has_energy)
+    b.halt()
+
+    prog = b.build()
+    params = encode_host(speech, nsub)
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [
+        (lag_out, [p[0] for p in params]),
+        (bc_out, [p[1] for p in params]),
+    ]
+    return prog
+
+
+def build_gsmdecode(scale: float = 1.0) -> Program:
+    nsub = scaled(60, scale, minimum=1)
+    rnd = rng(0x65D)
+    speech = _speech(_LAG_MAX + nsub * _SUB, 0x65D)
+    params = [(rnd.randint(_LAG_MIN, _LAG_MAX), rnd.randint(0, 3))
+              for _ in range(nsub)]
+    residual = [rnd.randint(-2500, 2500) for _ in range(nsub * _SUB)]
+
+    b = ProgramBuilder("gsmdecode")
+    b.data_words(_QLB, "qlb")
+    lag_addr = b.data_words([p[0] for p in params], "lags")
+    bc_addr = b.data_words([p[1] for p in params], "gains")
+    res_addr = b.data_words([v & 0xFFFFFFFF for v in residual], "residual")
+    hist_addr = b.space_words(_LAG_MAX + nsub * _SUB, "hist")
+    out_base = hist_addr + 4 * _LAG_MAX
+
+    sf, k, lag, gain = b.regs("sf", "k", "lag", "gain")
+    base_p, lag_p, res_p = b.regs("base_p", "lag_p", "res_p")
+    t, u, v = b.regs("t", "u", "v")
+
+    b.li(res_p, res_addr)
+    with b.for_range(sf, 0, nsub):
+        b.slli(t, sf, 2)
+        b.li(u, lag_addr)
+        b.add(u, u, t)
+        b.lw(lag, u, 0)
+        b.li(u, bc_addr)
+        b.add(u, u, t)
+        b.lw(gain, u, 0)
+        b.slli(gain, gain, 2)
+        b.li(u, b.symbol("qlb"))
+        b.add(gain, gain, u)
+        b.lw(gain, gain, 0)
+        b.li(t, _SUB * 4)
+        b.mul(base_p, sf, t)
+        b.li(t, out_base)
+        b.add(base_p, base_p, t)
+        b.slli(lag_p, lag, 2)
+        b.sub(lag_p, base_p, lag_p)
+        with b.for_range(k, 0, _SUB):
+            b.slli(t, k, 2)
+            b.add(u, lag_p, t)
+            b.lw(u, u, 0)
+            b.mul(u, u, gain)
+            b.srai(u, u, 15)
+            b.lw(v, res_p, 0)
+            b.addi(res_p, res_p, 4)
+            b.add(u, u, v)
+            b.li(v, 32767)
+            with b.if_(u, ">", v):
+                b.mv(u, v)
+            b.li(v, -32768)
+            with b.if_(u, "<", v):
+                b.mv(u, v)
+            b.add(v, base_p, t)
+            b.sw(u, v, 0)
+    b.halt()
+
+    prog = b.build()
+    out = decode_host(params, residual, nsub)
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [(out_base, [v & 0xFFFFFFFF for v in out])]
+    return prog

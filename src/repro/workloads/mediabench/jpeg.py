@@ -1,0 +1,310 @@
+"""jpegencode / jpegdecode - JPEG 8x8 block transform coding (MediaBench).
+
+The compute core of cjpeg/djpeg: per 8x8 block, a fixed-point (Q12) 2-D
+DCT via two matrix passes, quantization against the standard JPEG luminance
+table, and zigzag reordering - and the inverse chain for decode. All guest
+arithmetic is integer-exact against the host mirror.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled
+
+_Q = 12  # fixed-point fraction bits for the DCT basis
+
+# standard JPEG luminance quantization table (Annex K)
+QTABLE = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+#: Q12 DCT-II basis: C[k][n] = s(k) * cos((2n+1) k pi / 16)
+DCT_C = [[int(round((math.sqrt(0.125) if k == 0 else 0.5)
+                    * math.cos((2 * n + 1) * k * math.pi / 16) * (1 << _Q)))
+          for n in range(8)] for k in range(8)]
+
+
+def _blocks(nblocks: int, seed: int) -> list[list[int]]:
+    rnd = rng(seed)
+    out = []
+    for _ in range(nblocks):
+        base = rnd.randint(40, 200)
+        blk = []
+        for r in range(8):
+            for c in range(8):
+                v = base + int(28 * math.sin(0.7 * r) * math.cos(0.9 * c))
+                blk.append(max(0, min(255, v + rnd.randint(-12, 12))))
+        out.append(blk)
+    return out
+
+
+def _matmul_q12_left(coef: list[list[int]], x: list[int]) -> list[int]:
+    """y = coef @ x (8x8), with arithmetic >> Q after each dot product."""
+    y = [0] * 64
+    for i in range(8):
+        for j in range(8):
+            acc = 0
+            for k in range(8):
+                acc += coef[i][k] * x[8 * k + j]
+            y[8 * i + j] = acc >> _Q
+    return y
+
+
+def _matmul_q12_right(x: list[int], coef: list[list[int]]) -> list[int]:
+    """y = x @ coef^T: y[i][j] = sum_k x[i][k] * coef[j][k]."""
+    y = [0] * 64
+    for i in range(8):
+        for j in range(8):
+            acc = 0
+            for k in range(8):
+                acc += x[8 * i + k] * coef[j][k]
+            y[8 * i + j] = acc >> _Q
+    return y
+
+
+def dct2_host(block: list[int]) -> list[int]:
+    centered = [v - 128 for v in block]
+    return _matmul_q12_right(_matmul_q12_left(DCT_C, centered), DCT_C)
+
+
+def idct2_host(coeffs: list[int]) -> list[int]:
+    ct = [[DCT_C[k][n] for k in range(8)] for n in range(8)]  # transpose
+    spatial = _matmul_q12_right(_matmul_q12_left(ct, coeffs), ct)
+    return [max(0, min(255, v + 128)) for v in spatial]
+
+
+def _quant(v: int, q: int) -> int:
+    # round-half-away-from-zero division, like jpeglib's DIVIDE_BY
+    if v >= 0:
+        return (v + (q >> 1)) // q
+    return -((-v + (q >> 1)) // q)
+
+
+def encode_host(blocks: list[list[int]]) -> list[list[int]]:
+    out = []
+    for blk in blocks:
+        f = dct2_host(blk)
+        qz = [_quant(f[i], QTABLE[i]) for i in range(64)]
+        out.append([qz[ZIGZAG[i]] & 0xFFFFFFFF for i in range(64)])
+    return out
+
+
+def decode_host(streams: list[list[int]]) -> list[list[int]]:
+    out = []
+    for zz in streams:
+        qz = [0] * 64
+        for i in range(64):
+            v = zz[i]
+            qz[ZIGZAG[i]] = v - (1 << 32) if v & 0x80000000 else v
+        coeffs = [qz[i] * QTABLE[i] for i in range(64)]
+        out.append(idct2_host(coeffs))
+    return out
+
+
+def _emit_matmul_left(b, coef_addr, x_addr, y_addr, regs):
+    """y = coef @ x with >> Q; all operands are 64-word guest arrays."""
+    i, j, k, acc, t, u, v = regs
+    with b.for_range(i, 0, 8):
+        with b.for_range(j, 0, 8):
+            b.li(acc, 0)
+            with b.for_range(k, 0, 8):
+                # coef[i*8+k]
+                b.slli(t, i, 3)
+                b.add(t, t, k)
+                b.slli(t, t, 2)
+                b.addi(t, t, coef_addr)
+                b.lw(u, t, 0)
+                # x[k*8+j]
+                b.slli(t, k, 3)
+                b.add(t, t, j)
+                b.slli(t, t, 2)
+                b.addi(t, t, x_addr)
+                b.lw(v, t, 0)
+                b.mul(u, u, v)
+                b.add(acc, acc, u)
+            b.srai(acc, acc, _Q)
+            b.slli(t, i, 3)
+            b.add(t, t, j)
+            b.slli(t, t, 2)
+            b.addi(t, t, y_addr)
+            b.sw(acc, t, 0)
+
+
+def _emit_matmul_right(b, x_addr, coef_addr, y_addr, regs):
+    """y[i][j] = (sum_k x[i][k] * coef[j*8+k]) >> Q."""
+    i, j, k, acc, t, u, v = regs
+    with b.for_range(i, 0, 8):
+        with b.for_range(j, 0, 8):
+            b.li(acc, 0)
+            with b.for_range(k, 0, 8):
+                b.slli(t, i, 3)
+                b.add(t, t, k)
+                b.slli(t, t, 2)
+                b.addi(t, t, x_addr)
+                b.lw(u, t, 0)
+                b.slli(t, j, 3)
+                b.add(t, t, k)
+                b.slli(t, t, 2)
+                b.addi(t, t, coef_addr)
+                b.lw(v, t, 0)
+                b.mul(u, u, v)
+                b.add(acc, acc, u)
+            b.srai(acc, acc, _Q)
+            b.slli(t, i, 3)
+            b.add(t, t, j)
+            b.slli(t, t, 2)
+            b.addi(t, t, y_addr)
+            b.sw(acc, t, 0)
+
+
+def build_jpegencode(scale: float = 1.0) -> Program:
+    nblocks = scaled(9, scale, minimum=1)
+    blocks = _blocks(nblocks, 0x19E6)
+
+    b = ProgramBuilder("jpegencode")
+    coef_addr = b.data_words(
+        [DCT_C[i][j] & 0xFFFFFFFF for i in range(8) for j in range(8)], "dct")
+    q_addr = b.data_words(QTABLE, "qtable")
+    zz_addr = b.data_words(ZIGZAG, "zigzag")
+    in_addr = b.data_words(
+        [v for blk in blocks for v in blk], "pixels")
+    out_addr = b.space_words(64 * nblocks, "coded")
+    work = b.space_words(64, "work")
+    tmp = b.space_words(64, "tmp")
+
+    blk, i, j, k = b.regs("blk", "i", "j", "k")
+    acc, t, u, v = b.regs("acc", "t", "u", "v")
+    inp, outp = b.regs("inp", "outp")
+    mm_regs = (i, j, k, acc, t, u, v)
+
+    b.li(inp, in_addr)
+    b.li(outp, out_addr)
+    with b.for_range(blk, 0, nblocks):
+        # center into work
+        with b.for_range(i, 0, 64):
+            b.slli(t, i, 2)
+            b.add(t, t, inp)
+            b.lw(u, t, 0)
+            b.addi(u, u, -128)
+            b.slli(t, i, 2)
+            b.addi(t, t, work)
+            b.sw(u, t, 0)
+        _emit_matmul_left(b, coef_addr, work, tmp, mm_regs)
+        _emit_matmul_right(b, tmp, coef_addr, work, mm_regs)
+        # quantize + zigzag: out[i] = quant(work[zz[i]])
+        with b.for_range(i, 0, 64):
+            b.slli(t, i, 2)
+            b.addi(t, t, zz_addr)
+            b.lw(k, t, 0)      # source index
+            b.slli(t, k, 2)
+            b.addi(t, t, work)
+            b.lw(u, t, 0)      # coefficient
+            b.slli(t, k, 2)
+            b.addi(t, t, q_addr)
+            b.lw(v, t, 0)      # quantizer
+            # round-half-away division
+            b.srli(t, v, 1)
+            with b.if_else(u, ">=", 0) as negv:
+                b.add(u, u, t)
+                b.div(u, u, v)
+                negv()
+                b.neg(u, u)
+                b.add(u, u, t)
+                b.div(u, u, v)
+                b.neg(u, u)
+            b.slli(t, i, 2)
+            b.add(t, t, outp)
+            b.sw(u, t, 0)
+        b.addi(inp, inp, 256)
+        b.addi(outp, outp, 256)
+    b.halt()
+
+    prog = b.build()
+    expected = [w for s in encode_host(blocks) for w in s]
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [(out_addr, expected)]
+    return prog
+
+
+def build_jpegdecode(scale: float = 1.0) -> Program:
+    nblocks = scaled(9, scale, minimum=1)
+    blocks = _blocks(nblocks, 0x19D6)
+    streams = encode_host(blocks)
+
+    b = ProgramBuilder("jpegdecode")
+    # transposed basis for the inverse passes
+    ct = [[DCT_C[k][n] & 0xFFFFFFFF for k in range(8)] for n in range(8)]
+    coef_addr = b.data_words([ct[i][j] for i in range(8) for j in range(8)],
+                             "idct")
+    q_addr = b.data_words(QTABLE, "qtable")
+    zz_addr = b.data_words(ZIGZAG, "zigzag")
+    in_addr = b.data_words([w for s in streams for w in s], "coded")
+    out_addr = b.space_words(64 * nblocks, "pixels")
+    work = b.space_words(64, "work")
+    tmp = b.space_words(64, "tmp")
+
+    blk, i, j, k = b.regs("blk", "i", "j", "k")
+    acc, t, u, v = b.regs("acc", "t", "u", "v")
+    inp, outp = b.regs("inp", "outp")
+    mm_regs = (i, j, k, acc, t, u, v)
+
+    b.li(inp, in_addr)
+    b.li(outp, out_addr)
+    with b.for_range(blk, 0, nblocks):
+        # dezigzag + dequantize into work
+        with b.for_range(i, 0, 64):
+            b.slli(t, i, 2)
+            b.add(t, t, inp)
+            b.lw(u, t, 0)      # zz value
+            b.slli(t, i, 2)
+            b.addi(t, t, zz_addr)
+            b.lw(k, t, 0)      # dest index
+            b.slli(t, k, 2)
+            b.addi(t, t, q_addr)
+            b.lw(v, t, 0)
+            b.mul(u, u, v)
+            b.slli(t, k, 2)
+            b.addi(t, t, work)
+            b.sw(u, t, 0)
+        _emit_matmul_left(b, coef_addr, work, tmp, mm_regs)
+        _emit_matmul_right(b, tmp, coef_addr, work, mm_regs)
+        # +128, clamp to [0,255], store
+        with b.for_range(i, 0, 64):
+            b.slli(t, i, 2)
+            b.addi(t, t, work)
+            b.lw(u, t, 0)
+            b.addi(u, u, 128)
+            with b.if_(u, "<", 0):
+                b.li(u, 0)
+            b.li(t, 255)
+            with b.if_(u, ">", t):
+                b.mv(u, t)
+            b.slli(t, i, 2)
+            b.add(t, t, outp)
+            b.sw(u, t, 0)
+        b.addi(inp, inp, 256)
+        b.addi(outp, outp, 256)
+    b.halt()
+
+    prog = b.build()
+    expected = [v for blk in decode_host(streams) for v in blk]
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [(out_addr, expected)]
+    return prog

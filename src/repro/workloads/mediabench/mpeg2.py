@@ -1,0 +1,218 @@
+"""mpeg2encode / mpeg2decode - MPEG-2 motion kernels (MediaBench).
+
+* **encode**: full-search block motion estimation - for each 16x16
+  macroblock, scan a +/-R pixel window in the reference frame and emit the
+  (dx, dy) minimizing the sum of absolute differences, plus the SAD value.
+  This load-dominated search is mpeg2encode's hot loop.
+* **decode**: motion-compensated reconstruction - copy the best-match
+  reference block and add a quantized residual, with saturation.
+
+Both integer-exact against host mirrors.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled
+
+_MB = 16
+
+
+def _frame(w: int, h: int, seed: int) -> list[int]:
+    rnd = rng(seed)
+    return [max(0, min(255, int(120 + 70 * math.sin(0.13 * x + 0.21 * y)
+                                + rnd.randint(-8, 8))))
+            for y in range(h) for x in range(w)]
+
+
+def _shifted_frame(ref: list[int], w: int, h: int, seed: int) -> list[int]:
+    """Current frame = reference shifted by a couple of pixels + noise."""
+    rnd = rng(seed)
+    out = []
+    for y in range(h):
+        for x in range(w):
+            sx = min(w - 1, max(0, x - 2))
+            sy = min(h - 1, max(0, y - 1))
+            out.append(max(0, min(255, ref[sy * w + sx]
+                                  + rnd.randint(-3, 3))))
+    return out
+
+
+def motion_search_host(cur: list[int], ref: list[int], w: int,
+                       mbs: list[tuple[int, int]], radius: int):
+    results = []
+    for (mx, my) in mbs:
+        best = (1 << 30, 0, 0)
+        for dy in range(-radius, radius + 1):
+            for dx in range(-radius, radius + 1):
+                sad = 0
+                for r in range(_MB):
+                    base_c = (my + r) * w + mx
+                    base_r = (my + dy + r) * w + mx + dx
+                    for c in range(_MB):
+                        d = cur[base_c + c] - ref[base_r + c]
+                        sad += d if d >= 0 else -d
+                if sad < best[0]:
+                    best = (sad, dx, dy)
+        results.append(best)
+    return results
+
+
+def motion_comp_host(ref: list[int], residual: list[int], w: int,
+                     mbs: list[tuple[int, int]],
+                     vecs: list[tuple[int, int]]) -> list[int]:
+    out = []
+    for (mx, my), (dx, dy) in zip(mbs, vecs):
+        for r in range(_MB):
+            for c in range(_MB):
+                v = (ref[(my + dy + r) * w + mx + dx + c]
+                     + residual[len(out)])
+                out.append(max(0, min(255, v)))
+    return out
+
+
+def build_mpeg2encode(scale: float = 1.0) -> Program:
+    radius = 2
+    n_mbs = scaled(3, scale, minimum=1)
+    w = h = 48
+    ref = _frame(w, h, 0x3E9)
+    cur = _shifted_frame(ref, w, h, 0x3EA)
+    rnd = rng(0x3EB)
+    mbs = [(rnd.randint(radius, w - _MB - radius),
+            rnd.randint(radius, h - _MB - radius)) for _ in range(n_mbs)]
+
+    b = ProgramBuilder("mpeg2encode")
+    ref_addr = b.data_words(ref, "ref")
+    cur_addr = b.data_words(cur, "cur")
+    mb_addr = b.data_words([v for mb in mbs for v in mb], "mbs")
+    out_addr = b.space_words(3 * n_mbs, "vectors")  # sad, dx, dy per MB
+
+    mb, dx, dy, r, c = b.regs("mb", "dx", "dy", "r", "c")
+    mx, my, sad, best = b.regs("mx", "my", "sad", "best")
+    bdx, bdy, t, u, v = b.regs("bdx", "bdy", "t", "u", "v")
+    cp, rp = b.regs("cp", "rp")
+
+    with b.for_range(mb, 0, n_mbs):
+        b.slli(t, mb, 3)
+        b.addi(t, t, mb_addr)
+        b.lw(mx, t, 0)
+        b.lw(my, t, 4)
+        b.li(best, 1 << 30)
+        b.li(bdx, 0)
+        b.li(bdy, 0)
+        with b.for_range(dy, -radius, radius + 1):
+            with b.for_range(dx, -radius, radius + 1):
+                b.li(sad, 0)
+                with b.for_range(r, 0, _MB):
+                    # cp = &cur[(my+r)*w + mx]
+                    b.add(t, my, r)
+                    b.li(u, w)
+                    b.mul(t, t, u)
+                    b.add(t, t, mx)
+                    b.slli(t, t, 2)
+                    b.addi(cp, t, cur_addr)
+                    # rp = &ref[(my+dy+r)*w + mx+dx]
+                    b.add(t, my, dy)
+                    b.add(t, t, r)
+                    b.li(u, w)
+                    b.mul(t, t, u)
+                    b.add(t, t, mx)
+                    b.add(t, t, dx)
+                    b.slli(t, t, 2)
+                    b.addi(rp, t, ref_addr)
+                    with b.for_range(c, 0, _MB):
+                        b.lw(u, cp, 0)
+                        b.lw(v, rp, 0)
+                        b.addi(cp, cp, 4)
+                        b.addi(rp, rp, 4)
+                        b.sub(u, u, v)
+                        with b.if_(u, "<", 0):
+                            b.neg(u, u)
+                        b.add(sad, sad, u)
+                with b.if_(sad, "<", best):
+                    b.mv(best, sad)
+                    b.mv(bdx, dx)
+                    b.mv(bdy, dy)
+        b.slli(t, mb, 2)
+        b.li(u, 3)
+        b.mul(t, t, u)
+        b.addi(t, t, out_addr)
+        b.sw(best, t, 0)
+        b.sw(bdx, t, 4)
+        b.sw(bdy, t, 8)
+    b.halt()
+
+    prog = b.build()
+    expected = []
+    for sad, dx, dy in motion_search_host(cur, ref, w, mbs, radius):
+        expected += [sad, dx & 0xFFFFFFFF, dy & 0xFFFFFFFF]
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [(out_addr, expected)]
+    return prog
+
+
+def build_mpeg2decode(scale: float = 1.0) -> Program:
+    n_mbs = scaled(14, scale, minimum=1)
+    w = h = 48
+    ref = _frame(w, h, 0x3D9)
+    rnd = rng(0x3DA)
+    mbs = [(rnd.randint(4, w - _MB - 4), rnd.randint(4, h - _MB - 4))
+           for _ in range(n_mbs)]
+    vecs = [(rnd.randint(-3, 3), rnd.randint(-3, 3)) for _ in range(n_mbs)]
+    residual = [rnd.randint(-24, 24) for _ in range(n_mbs * _MB * _MB)]
+
+    b = ProgramBuilder("mpeg2decode")
+    ref_addr = b.data_words(ref, "ref")
+    mb_addr = b.data_words([v for mb in mbs for v in mb], "mbs")
+    vec_addr = b.data_words([v & 0xFFFFFFFF for vec in vecs for v in vec],
+                            "vectors")
+    res_addr = b.data_words([v & 0xFFFFFFFF for v in residual], "residual")
+    out_addr = b.space_words(n_mbs * _MB * _MB, "recon")
+
+    mb, r, c, mx, my = b.regs("mb", "r", "c", "mx", "my")
+    dx, dy, t, u, v = b.regs("dx", "dy", "t", "u", "v")
+    rp, resp, outp = b.regs("rp", "resp", "outp")
+
+    b.li(resp, res_addr)
+    b.li(outp, out_addr)
+    with b.for_range(mb, 0, n_mbs):
+        b.slli(t, mb, 3)
+        b.addi(t, t, mb_addr)
+        b.lw(mx, t, 0)
+        b.lw(my, t, 4)
+        b.slli(t, mb, 3)
+        b.addi(t, t, vec_addr)
+        b.lw(dx, t, 0)
+        b.lw(dy, t, 4)
+        with b.for_range(r, 0, _MB):
+            b.add(t, my, dy)
+            b.add(t, t, r)
+            b.li(u, w)
+            b.mul(t, t, u)
+            b.add(t, t, mx)
+            b.add(t, t, dx)
+            b.slli(t, t, 2)
+            b.addi(rp, t, ref_addr)
+            with b.for_range(c, 0, _MB):
+                b.lw(u, rp, 0)
+                b.addi(rp, rp, 4)
+                b.lw(v, resp, 0)
+                b.addi(resp, resp, 4)
+                b.add(u, u, v)
+                with b.if_(u, "<", 0):
+                    b.li(u, 0)
+                b.li(t, 255)
+                with b.if_(u, ">", t):
+                    b.mv(u, t)
+                b.sw(u, outp, 0)
+                b.addi(outp, outp, 4)
+    b.halt()
+
+    prog = b.build()
+    expected = motion_comp_host(ref, residual, w, mbs, vecs)
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [(out_addr, expected)]
+    return prog

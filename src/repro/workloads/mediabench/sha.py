@@ -1,0 +1,136 @@
+"""sha - SHA-1 digest of a deterministic message (MediaBench).
+
+The guest kernel implements the full SHA-1 compression: 16-word message
+schedule expansion to 80 words (stored to memory, giving the store locality
+the cache designs react to) and the four 20-round phases. The result is
+checked against :mod:`hashlib` on the host.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import emit_rotl, rng, scaled
+
+_H = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+
+def _padded_message(nbytes: int) -> bytes:
+    msg = bytes(rng(0x5AA5).randrange(256) for _ in range(nbytes))
+    bitlen = 8 * len(msg)
+    padded = msg + b"\x80" + b"\x00" * ((55 - len(msg)) % 64)
+    return padded + struct.pack(">Q", bitlen)
+
+
+def build(scale: float = 1.0) -> Program:
+    nbytes = scaled(1400, scale, minimum=8)
+    data = _padded_message(nbytes)
+    nblocks = len(data) // 64
+    # store as big-endian words (SHA-1 is big-endian; the guest works on
+    # whole words so endianness is resolved at data-placement time)
+    msg_words = [int.from_bytes(data[i:i + 4], "big")
+                 for i in range(0, len(data), 4)]
+
+    b = ProgramBuilder("sha")
+    msg = b.data_words(msg_words, "msg")
+    w_buf = b.space_words(80, "w")
+    out = b.space_words(5, "digest")
+
+    h0, h1, h2, h3, h4 = b.regs("h0", "h1", "h2", "h3", "h4")
+    for reg, init in zip((h0, h1, h2, h3, h4), _H):
+        b.li(reg, init)
+
+    blk, i, t1, t2 = b.regs("blk", "i", "t1", "t2")
+    wp, mp = b.regs("wp", "mp")
+    b.li(mp, msg)
+
+    with b.for_range(blk, 0, nblocks):
+        # --- schedule: w[0..15] = block words ---
+        b.li(wp, w_buf)
+        with b.for_range(i, 0, 16):
+            b.lw(t1, mp, 0)
+            b.sw(t1, wp, 0)
+            b.addi(mp, mp, 4)
+            b.addi(wp, wp, 4)
+        # --- expansion: w[i] = rotl1(w[i-3]^w[i-8]^w[i-14]^w[i-16]) ---
+        with b.for_range(i, 16, 80):
+            b.lw(t1, wp, -12)
+            b.lw(t2, wp, -32)
+            b.xor(t1, t1, t2)
+            b.lw(t2, wp, -56)
+            b.xor(t1, t1, t2)
+            b.lw(t2, wp, -64)
+            b.xor(t1, t1, t2)
+            emit_rotl(b, t1, t1, 1, t2)
+            b.sw(t1, wp, 0)
+            b.addi(wp, wp, 4)
+        # --- 80 rounds ---
+        a, bb, c, d, e = b.regs("a", "b", "c", "d", "e")
+        f, k = b.regs("f", "k")
+        b.mv(a, h0)
+        b.mv(bb, h1)
+        b.mv(c, h2)
+        b.mv(d, h3)
+        b.mv(e, h4)
+        b.li(wp, w_buf)
+        with b.for_range(i, 0, 80):
+            with b.if_else(i, "<", 20) as phase2plus:
+                # f = (b & c) | (~b & d)
+                b.and_(f, bb, c)
+                b.not_(t2, bb)
+                b.and_(t2, t2, d)
+                b.or_(f, f, t2)
+                b.li(k, _K[0])
+                phase2plus()
+                with b.if_else(i, "<", 40) as phase3plus:
+                    b.xor(f, bb, c)
+                    b.xor(f, f, d)
+                    b.li(k, _K[1])
+                    phase3plus()
+                    with b.if_else(i, "<", 60) as phase4:
+                        # f = (b & c) | (b & d) | (c & d)
+                        b.and_(f, bb, c)
+                        b.and_(t2, bb, d)
+                        b.or_(f, f, t2)
+                        b.and_(t2, c, d)
+                        b.or_(f, f, t2)
+                        b.li(k, _K[2])
+                        phase4()
+                        b.xor(f, bb, c)
+                        b.xor(f, f, d)
+                        b.li(k, _K[3])
+            # temp = rotl5(a) + f + e + k + w[i]
+            emit_rotl(b, t1, a, 5, t2)
+            b.add(t1, t1, f)
+            b.add(t1, t1, e)
+            b.add(t1, t1, k)
+            b.lw(t2, wp, 0)
+            b.addi(wp, wp, 4)
+            b.add(t1, t1, t2)
+            b.mv(e, d)
+            b.mv(d, c)
+            emit_rotl(b, c, bb, 30, t2)
+            b.mv(bb, a)
+            b.mv(a, t1)
+        b.add(h0, h0, a)
+        b.add(h1, h1, bb)
+        b.add(h2, h2, c)
+        b.add(h3, h3, d)
+        b.add(h4, h4, e)
+        b.free(a, bb, c, d, e, f, k)
+
+    for n, reg in enumerate((h0, h1, h2, h3, h4)):
+        b.sw_addr(reg, out + 4 * n)
+    b.halt()
+
+    prog = b.build()
+    raw = bytes(rng(0x5AA5).randrange(256) for _ in range(nbytes))
+    digest = hashlib.sha1(raw).digest()
+    expected = [int.from_bytes(digest[i:i + 4], "big") for i in range(0, 20, 4)]
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [(out, expected)]
+    return prog

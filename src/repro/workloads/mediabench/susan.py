@@ -1,0 +1,117 @@
+"""susancorners / susanedges - SUSAN feature detection (MediaBench).
+
+The genuine SUSAN structure: for each interior pixel, sum a precomputed
+brightness-similarity lookup (the exp((dI/t)^6) table, quantized to 0..100)
+over the 37-pixel circular mask; pixels whose USAN area falls below the
+geometric threshold (g = 3*max/4 for corners, g = max*3/4... edges use the
+higher threshold) produce a response ``g - area``. Output is the response
+map, checked against an integer-exact host mirror.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled
+
+#: the 37-offset circular mask of radius ~3.4 (classic SUSAN)
+MASK = [(dx, dy) for dy in range(-3, 4) for dx in range(-3, 4)
+        if dx * dx + dy * dy <= 11 and not (dx == 0 and dy == 0)]
+assert len(MASK) == 36
+
+_BT = 20  # brightness threshold
+
+
+def make_similarity_table() -> list[int]:
+    """LUT over dI in [-255, 255]: 100 * exp(-((dI/t)^6)), quantized."""
+    table = []
+    for d in range(-255, 256):
+        table.append(int(round(100.0 * math.exp(-((d / _BT) ** 6)))))
+    return table
+
+
+SIM_TABLE = make_similarity_table()
+_MAX_AREA = 100 * len(MASK)
+
+
+def _image(w: int, h: int, seed: int) -> list[int]:
+    rnd = rng(seed)
+    img = []
+    for y in range(h):
+        for x in range(w):
+            # blocks and gradients produce both corners and edges
+            v = 40 if (x // 10 + y // 10) % 2 == 0 else 190
+            v += int(12 * math.sin(0.4 * x))
+            img.append(max(0, min(255, v + rnd.randint(-6, 6))))
+    return img
+
+
+def susan_host(img: list[int], w: int, h: int, corners: bool) -> list[int]:
+    g = (_MAX_AREA * 3) // 4 if not corners else _MAX_AREA // 2
+    out = [0] * (w * h)
+    for y in range(3, h - 3):
+        for x in range(3, w - 3):
+            nucleus = img[y * w + x]
+            area = 0
+            for dx, dy in MASK:
+                d = img[(y + dy) * w + (x + dx)] - nucleus
+                area += SIM_TABLE[d + 255]
+            if area < g:
+                out[y * w + x] = g - area
+    return out
+
+
+def _build(corners: bool, scale: float) -> Program:
+    side = max(12, int(round(26 * math.sqrt(scale))))
+    w = h = side
+    img = _image(w, h, 0x5A5 + corners)
+    g = (_MAX_AREA * 3) // 4 if not corners else _MAX_AREA // 2
+
+    name = "susancorners" if corners else "susanedges"
+    b = ProgramBuilder(name)
+    img_addr = b.data_words(img, "image")
+    lut_addr = b.data_words(SIM_TABLE, "similarity")
+    out_addr = b.space_words(w * h, "response")
+
+    y, x, area, nuc = b.regs("y", "x", "area", "nuc")
+    t, u, v, p = b.regs("t", "u", "v", "p")
+
+    with b.for_range(y, 3, h - 3):
+        with b.for_range(x, 3, w - 3):
+            b.li(t, w)
+            b.mul(p, y, t)
+            b.add(p, p, x)
+            b.slli(p, p, 2)
+            b.addi(t, p, img_addr)
+            b.lw(nuc, t, 0)
+            b.li(area, 0)
+            for dx, dy in MASK:
+                off = (dy * w + dx) * 4
+                b.addi(t, p, img_addr + off)
+                b.lw(u, t, 0)
+                b.sub(u, u, nuc)
+                b.slli(u, u, 2)
+                b.addi(u, u, lut_addr + 255 * 4)
+                b.lw(u, u, 0)
+                b.add(area, area, u)
+            b.li(t, g)
+            with b.if_(area, "<", t):
+                b.sub(u, t, area)
+                b.addi(t, p, out_addr)
+                b.sw(u, t, 0)
+    b.halt()
+
+    prog = b.build()
+    prog.meta["suite"] = "mediabench"
+    prog.meta["checks"] = [(out_addr, susan_host(img, w, h, corners))]
+    return prog
+
+
+def build_susancorners(scale: float = 1.0) -> Program:
+    return _build(True, scale)
+
+
+def build_susanedges(scale: float = 1.0) -> Program:
+    return _build(False, scale)

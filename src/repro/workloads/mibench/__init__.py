@@ -1,0 +1,1 @@
+"""MiBench workload kernels."""

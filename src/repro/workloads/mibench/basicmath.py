@@ -1,0 +1,128 @@
+"""basicmath - integer math kernels (MiBench).
+
+Three sub-kernels matching MiBench basicmath's spirit in integer form:
+bit-by-bit integer square roots, integer cube roots by binary search, and
+degree->radian conversions in Q16 fixed point. Each result array is checked
+against an exact host-Python mirror.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled, words
+
+_Q16_PI_OVER_180 = 1144  # round(pi/180 * 2^16)
+
+
+def _isqrt(x: int) -> int:
+    r = 0
+    bit = 1 << 30
+    while bit > x:
+        bit >>= 2
+    while bit:
+        if x >= r + bit:
+            x -= r + bit
+            r = (r >> 1) + bit
+        else:
+            r >>= 1
+        bit >>= 2
+    return r
+
+
+def _icbrt(x: int) -> int:
+    lo, hi = 0, 1625  # 1625^3 > 2^32
+    while lo < hi:
+        mid = (lo + hi + 1) >> 1
+        if mid * mid * mid <= x:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def build(scale: float = 1.0) -> Program:
+    n = scaled(260, scale, minimum=2)
+    rnd = rng(0xBA51C)
+    xs = words(rnd, n)
+    degs = [rnd.randint(0, 360) for _ in range(n)]
+
+    b = ProgramBuilder("basicmath")
+    xs_addr = b.data_words(xs, "xs")
+    degs_addr = b.data_words(degs, "degs")
+    sq_out = b.space_words(n, "sqrt_out")
+    cb_out = b.space_words(n, "cbrt_out")
+    rad_out = b.space_words(n, "rad_out")
+
+    i, x, r, bit, t = b.regs("i", "x", "r", "bit", "t")
+    p_in, p_out = b.regs("p_in", "p_out")
+
+    # --- integer square roots (bit-by-bit method) ---
+    b.li(p_in, xs_addr)
+    b.li(p_out, sq_out)
+    with b.for_range(i, 0, n):
+        b.lw(x, p_in, 0)
+        b.li(r, 0)
+        b.li(bit, 1 << 30)
+        with b.while_(bit, ">u", x):
+            b.srli(bit, bit, 2)
+        with b.while_(bit, "!=", 0):
+            b.add(t, r, bit)
+            with b.if_else(x, ">=u", t) as other:
+                b.sub(x, x, t)
+                b.srli(r, r, 1)
+                b.add(r, r, bit)
+                other()
+                b.srli(r, r, 1)
+            b.srli(bit, bit, 2)
+        b.sw(r, p_out, 0)
+        b.addi(p_in, p_in, 4)
+        b.addi(p_out, p_out, 4)
+
+    # --- integer cube roots (binary search; mul-heavy) ---
+    lo, hi, mid = b.regs("lo", "hi", "mid")
+    b.li(p_in, xs_addr)
+    b.li(p_out, cb_out)
+    with b.for_range(i, 0, n):
+        b.lw(x, p_in, 0)
+        b.li(lo, 0)
+        b.li(hi, 1625)
+        with b.while_(lo, "<u", hi):
+            b.add(mid, lo, hi)
+            b.addi(mid, mid, 1)
+            b.srli(mid, mid, 1)
+            # 64-bit safe: compare mid^3 <= x using mulh to detect overflow
+            b.mul(t, mid, mid)  # mid^2 (fits: 1625^2 < 2^32)
+            b.mulh(r, t, mid)   # high word of mid^3 (signed ok: operands < 2^31)
+            with b.if_else(r, "!=", 0) as in_range:
+                b.addi(hi, mid, -1)  # mid^3 overflows 32 bits -> too big
+                in_range()
+                b.mul(t, t, mid)
+                with b.if_else(t, "<=u", x) as too_big:
+                    b.mv(lo, mid)
+                    too_big()
+                    b.addi(hi, mid, -1)
+        b.sw(lo, p_out, 0)
+        b.addi(p_in, p_in, 4)
+        b.addi(p_out, p_out, 4)
+
+    # --- degree -> radian, Q16 fixed point ---
+    b.li(p_in, degs_addr)
+    b.li(p_out, rad_out)
+    with b.for_range(i, 0, n):
+        b.lw(x, p_in, 0)
+        b.li(t, _Q16_PI_OVER_180)
+        b.mul(r, x, t)
+        b.sw(r, p_out, 0)
+        b.addi(p_in, p_in, 4)
+        b.addi(p_out, p_out, 4)
+    b.halt()
+
+    prog = b.build()
+    prog.meta["suite"] = "mibench"
+    prog.meta["checks"] = [
+        (sq_out, [_isqrt(v) for v in xs]),
+        (cb_out, [_icbrt(v) for v in xs]),
+        (rad_out, [(d * _Q16_PI_OVER_180) & 0xFFFFFFFF for d in degs]),
+    ]
+    return prog

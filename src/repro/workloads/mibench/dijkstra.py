@@ -1,0 +1,124 @@
+"""dijkstra - single-source shortest paths on a dense graph (MiBench).
+
+Adjacency-matrix Dijkstra (O(V^2) with linear min-scan, exactly like the
+MiBench version) run from several sources; the distance arrays are checked
+against a host-Python mirror.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled
+
+_INF = 0x3FFFFFFF
+
+
+def _host_dijkstra(adj: list[list[int]], src: int) -> list[int]:
+    v = len(adj)
+    dist = [_INF] * v
+    dist[src] = 0
+    visited = [False] * v
+    for _ in range(v):
+        u, best = -1, _INF + 1
+        for k in range(v):
+            if not visited[k] and dist[k] < best:
+                u, best = k, dist[k]
+        if u < 0:
+            break
+        visited[u] = True
+        for k in range(v):
+            w = adj[u][k]
+            if w and dist[u] + w < dist[k]:
+                dist[k] = dist[u] + w
+    return dist
+
+
+def build(scale: float = 1.0) -> Program:
+    v = scaled(40, scale, minimum=4)
+    n_src = 4
+    rnd = rng(0xD135)
+    # sparse-ish dense matrix: ~35% edges, weight 1..100, 0 = no edge
+    adj = [[(rnd.randint(1, 100) if rnd.random() < 0.35 and i != j else 0)
+            for j in range(v)] for i in range(v)]
+
+    b = ProgramBuilder("dijkstra")
+    flat = [w for row in adj for w in row]
+    adj_addr = b.data_words(flat, "adj")
+    dist_addr = b.space_words(v * n_src, "dist")
+    visited_addr = b.space_words(v, "visited")
+
+    src, i, k, t = b.regs("src", "i", "k", "t")
+    dist_p, vis_p, row_p = b.regs("dist_p", "vis_p", "row_p")
+    u, best, du, w = b.regs("u", "best", "du", "w")
+    dk, addr = b.regs("dk", "addr")
+
+    with b.for_range(src, 0, n_src):
+        # dist_p = &dist[src * v]
+        b.li(t, v * 4)
+        b.mul(dist_p, src, t)
+        b.li(t, dist_addr)
+        b.add(dist_p, dist_p, t)
+        # init dist = INF (dist[src] = 0), visited = 0
+        with b.for_range(i, 0, v):
+            b.slli(addr, i, 2)
+            b.add(addr, addr, dist_p)
+            b.li(t, _INF)
+            b.sw(t, addr, 0)
+            b.li(addr, visited_addr)
+            b.slli(w, i, 2)
+            b.add(addr, addr, w)
+            b.sw(b.zero, addr, 0)
+        b.slli(addr, src, 2)
+        b.add(addr, addr, dist_p)
+        b.sw(b.zero, addr, 0)
+
+        with b.for_range(i, 0, v):
+            # u = argmin over unvisited
+            b.li(u, -1)
+            b.li(best, _INF + 1)
+            with b.for_range(k, 0, v):
+                b.li(vis_p, visited_addr)
+                b.slli(t, k, 2)
+                b.add(vis_p, vis_p, t)
+                b.lw(t, vis_p, 0)
+                with b.if_(t, "==", 0):
+                    b.slli(addr, k, 2)
+                    b.add(addr, addr, dist_p)
+                    b.lw(dk, addr, 0)
+                    with b.if_(dk, "<u", best):
+                        b.mv(best, dk)
+                        b.mv(u, k)
+            with b.if_(u, ">=", 0):
+                b.li(vis_p, visited_addr)
+                b.slli(t, u, 2)
+                b.add(vis_p, vis_p, t)
+                b.li(t, 1)
+                b.sw(t, vis_p, 0)
+                # du = dist[u]; row_p = &adj[u][0]
+                b.slli(addr, u, 2)
+                b.add(addr, addr, dist_p)
+                b.lw(du, addr, 0)
+                b.li(t, v * 4)
+                b.mul(row_p, u, t)
+                b.li(t, adj_addr)
+                b.add(row_p, row_p, t)
+                with b.for_range(k, 0, v):
+                    b.lw(w, row_p, 0)
+                    b.addi(row_p, row_p, 4)
+                    with b.if_(w, "!=", 0):
+                        b.add(w, w, du)
+                        b.slli(addr, k, 2)
+                        b.add(addr, addr, dist_p)
+                        b.lw(dk, addr, 0)
+                        with b.if_(w, "<u", dk):
+                            b.sw(w, addr, 0)
+    b.halt()
+
+    prog = b.build()
+    expected = []
+    for s in range(n_src):
+        expected.extend(_host_dijkstra(adj, s))
+    prog.meta["suite"] = "mibench"
+    prog.meta["checks"] = [(dist_addr, expected)]
+    return prog

@@ -1,0 +1,209 @@
+"""FFT / FFT_i - fixed-point radix-2 FFT and inverse (MiBench).
+
+Iterative in-place decimation-in-time FFT over Q15 complex samples with
+precomputed twiddle tables. The guest math is integer-exact; the host
+mirror replays the identical fixed-point operations, so the check is
+bit-exact (no float tolerance games). ``FFT_i`` runs the inverse transform
+over the forward transform's output and additionally checks the round trip
+against the (scaled) original signal.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled, to_s32
+
+_U32 = 0xFFFFFFFF
+
+
+def _twiddles(n: int, inverse: bool) -> tuple[list[int], list[int]]:
+    sign = 1.0 if inverse else -1.0
+    cos = [int(round(math.cos(2 * math.pi * k / n) * 32767)) & 0xFFFF
+           for k in range(n // 2)]
+    sin = [int(round(sign * math.sin(2 * math.pi * k / n) * 32767)) & 0xFFFF
+           for k in range(n // 2)]
+    return cos, sin
+
+
+def _bit_reverse(idx: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (idx & 1)
+        idx >>= 1
+    return out
+
+
+def _host_fft(re: list[int], im: list[int], cos: list[int], sin: list[int],
+              n: int) -> tuple[list[int], list[int]]:
+    """Exact mirror of the guest's fixed-point butterflies."""
+    bits = n.bit_length() - 1
+    re = list(re)
+    im = list(im)
+    for i in range(n):
+        j = _bit_reverse(i, bits)
+        if j > i:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+
+    def s16(x: int) -> int:
+        x &= 0xFFFF
+        return x - 0x10000 if x & 0x8000 else x
+
+    size = 2
+    while size <= n:
+        half = size >> 1
+        step = n // size
+        for start in range(0, n, size):
+            for k in range(half):
+                c = s16(cos[k * step])
+                s = s16(sin[k * step])
+                a = start + k
+                bidx = a + half
+                tr = (to_s32(re[bidx]) * c - to_s32(im[bidx]) * s) >> 15
+                ti = (to_s32(re[bidx]) * s + to_s32(im[bidx]) * c) >> 15
+                ar = to_s32(re[a]) >> 1
+                ai = to_s32(im[a]) >> 1
+                tr >>= 1
+                ti >>= 1
+                re[bidx] = (ar - tr) & _U32
+                im[bidx] = (ai - ti) & _U32
+                re[a] = (ar + tr) & _U32
+                im[a] = (ai + ti) & _U32
+        size <<= 1
+    return re, im
+
+
+def _build(inverse: bool, scale: float) -> Program:
+    n = 256 if scale >= 0.75 else 128
+    if scale >= 2.0:
+        n = 512
+    bits = n.bit_length() - 1
+    rnd = rng(0xFF7 + (1 if inverse else 0))
+    sig_re = [rnd.randint(-8000, 8000) & _U32 for _ in range(n)]
+    sig_im = [rnd.randint(-8000, 8000) & _U32 for _ in range(n)]
+    fcos, fsin = _twiddles(n, inverse=False)
+    if inverse:
+        # input of the inverse transform = forward transform of the signal
+        in_re, in_im = _host_fft(sig_re, sig_im, fcos, fsin, n)
+        cos, sin = _twiddles(n, inverse=True)
+    else:
+        in_re, in_im = sig_re, sig_im
+        cos, sin = fcos, fsin
+
+    name = "fft_i" if inverse else "fft"
+    b = ProgramBuilder(name)
+    re_addr = b.data_words(in_re, "re")
+    im_addr = b.data_words(in_im, "im")
+    cos_addr = b.data_words(cos, "cos")
+    sin_addr = b.data_words(sin, "sin")
+
+    i, j, t, bit = b.regs("i", "j", "t", "bit")
+    pa, pb = b.regs("pa", "pb")
+    # --- bit-reversal permutation ---
+    for base in (re_addr, im_addr):
+        with b.for_range(i, 0, n):
+            # j = bit_reverse(i)
+            b.li(j, 0)
+            b.mv(t, i)
+            for _ in range(bits):
+                b.slli(j, j, 1)
+                b.andi(bit, t, 1)
+                b.or_(j, j, bit)
+                b.srli(t, t, 1)
+            with b.if_(j, ">", i):
+                b.li(pa, base)
+                b.slli(t, i, 2)
+                b.add(pa, pa, t)
+                b.li(pb, base)
+                b.slli(t, j, 2)
+                b.add(pb, pb, t)
+                b.lw(t, pa, 0)
+                b.lw(bit, pb, 0)
+                b.sw(bit, pa, 0)
+                b.sw(t, pb, 0)
+
+    # --- butterflies ---
+    size, half, step, start, k = b.regs("size", "half", "step", "start", "k")
+    c, s, tr, ti = b.regs("c", "s", "tr", "ti")
+    ar, ai, br, bi = b.regs("ar", "ai", "br", "bi")
+    idx = b.reg("idx")
+    b.li(size, 2)
+    with b.while_(size, "<=", n):
+        b.srli(half, size, 1)
+        b.li(step, n)
+        b.div(step, step, size)
+        b.li(start, 0)
+        with b.while_(start, "<", n):
+            with b.for_range(k, 0, half):
+                # c/s = sign-extended halfword twiddles at k*step
+                b.mul(idx, k, step)
+                b.slli(idx, idx, 2)
+                b.li(t, cos_addr)
+                b.add(t, t, idx)
+                b.lh(c, t, 0)
+                b.li(t, sin_addr)
+                b.add(t, t, idx)
+                b.lh(s, t, 0)
+                # a = start + k; b = a + half (word pointers)
+                b.add(idx, start, k)
+                b.slli(idx, idx, 2)
+                b.li(pa, re_addr)
+                b.add(pa, pa, idx)
+                b.li(pb, im_addr)
+                b.add(pb, pb, idx)
+                b.slli(t, half, 2)
+                b.lw(ar, pa, 0)
+                b.lw(ai, pb, 0)
+                b.add(pa, pa, t)
+                b.add(pb, pb, t)
+                b.lw(br, pa, 0)
+                b.lw(bi, pb, 0)
+                # tr = (br*c - bi*s) >> 15 ; ti = (br*s + bi*c) >> 15
+                b.mul(tr, br, c)
+                b.mul(t, bi, s)
+                b.sub(tr, tr, t)
+                b.srai(tr, tr, 15)
+                b.mul(ti, br, s)
+                b.mul(t, bi, c)
+                b.add(ti, ti, t)
+                b.srai(ti, ti, 15)
+                # scale by 1/2 each stage to avoid overflow
+                b.srai(ar, ar, 1)
+                b.srai(ai, ai, 1)
+                b.srai(tr, tr, 1)
+                b.srai(ti, ti, 1)
+                b.sub(t, ar, tr)
+                b.sw(t, pa, 0)
+                b.sub(t, ai, ti)
+                b.sw(t, pb, 0)
+                b.slli(t, half, 2)
+                b.sub(pa, pa, t)
+                b.sub(pb, pb, t)
+                b.add(t, ar, tr)
+                b.sw(t, pa, 0)
+                b.add(t, ai, ti)
+                b.sw(t, pb, 0)
+            b.add(start, start, size)
+        b.slli(size, size, 1)
+    b.halt()
+
+    prog = b.build()
+    out_re, out_im = _host_fft(in_re, in_im, cos, sin, n)
+    prog.meta["suite"] = "mibench"
+    prog.meta["checks"] = [(re_addr, out_re), (im_addr, out_im)]
+    if inverse:
+        # round trip: inverse(forward(x)) == x / n (per-stage >>1 twice)
+        prog.meta["roundtrip_tolerance"] = 64
+        prog.meta["signal"] = (sig_re, sig_im)
+    return prog
+
+
+def build_fft(scale: float = 1.0) -> Program:
+    return _build(False, scale)
+
+
+def build_fft_i(scale: float = 1.0) -> Program:
+    return _build(True, scale)

@@ -1,0 +1,175 @@
+"""patricia - PATRICIA trie insertion and lookup (MiBench).
+
+A binary digital trie over 32-bit keys (IP-address-like), with nodes bump-
+allocated in guest memory: each node is 4 words {bit, left, right, key}.
+Inserts a key set, then looks up a probe set and records hit/miss flags and
+a traversal-length checksum - both checked against a host mirror that
+replays the identical insertion order.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled
+
+_NODE_WORDS = 4  # bit, left, right, key
+
+
+def _host_trie(keys: list[int], probes: list[int]) -> tuple[list[int], int]:
+    """Mirror of the guest's simple digital trie (bit-index descent)."""
+    # node: [bit, left, right, key]; index 0 = null
+    nodes: list[list[int]] = [[0, 0, 0, 0]]  # dummy so index 0 is "null"
+
+    def insert(key: int) -> None:
+        if len(nodes) == 1:
+            nodes.append([31, 0, 0, key])
+            return
+        cur = 1
+        while True:
+            node = nodes[cur]
+            if node[3] == key:
+                return
+            bit = node[0]
+            side = 1 if not (key >> bit) & 1 else 2
+            nxt = node[side]
+            if nxt == 0:
+                nodes.append([max(0, bit - 1), 0, 0, key])
+                node[side] = len(nodes) - 1
+                return
+            cur = nxt
+
+    def search(key: int) -> tuple[int, int]:
+        cur = 1 if len(nodes) > 1 else 0
+        steps = 0
+        while cur:
+            node = nodes[cur]
+            steps += 1
+            if node[3] == key:
+                return (1, steps)
+            side = 1 if not (key >> node[0]) & 1 else 2
+            cur = node[side]
+        return (0, steps)
+
+    for k in keys:
+        insert(k)
+    hits = []
+    checksum = 0
+    for p in probes:
+        hit, steps = search(p)
+        hits.append(hit)
+        checksum = (checksum + steps) & 0xFFFFFFFF
+    return (hits, checksum)
+
+
+def build(scale: float = 1.0) -> Program:
+    n_keys = scaled(380, scale, minimum=2)
+    n_probes = scaled(500, scale, minimum=2)
+    rnd = rng(0x9A7)
+    keys = [rnd.getrandbits(32) for _ in range(n_keys)]
+    # half the probes are present, half random
+    probes = [rnd.choice(keys) if rnd.random() < 0.5 else rnd.getrandbits(32)
+              for _ in range(n_probes)]
+
+    b = ProgramBuilder("patricia")
+    keys_addr = b.data_words(keys, "keys")
+    probes_addr = b.data_words(probes, "probes")
+    # node pool: index 0 is null; node i at pool + 16*i
+    pool = b.space_words(_NODE_WORDS * (n_keys + 2), "pool")
+    hits_addr = b.space_words(n_probes, "hits")
+    csum_addr = b.space_words(1, "checksum")
+
+    nnodes, key, cur, node_p = b.regs("nnodes", "key", "cur", "node_p")
+    bit, side, nxt, t = b.regs("bit", "side", "nxt", "t")
+    i, kp = b.regs("i", "kp")
+
+    b.li(nnodes, 1)  # slot 0 reserved as null
+
+    def node_addr(dst, idx):
+        """dst = pool + 16*idx (clobbers dst only)."""
+        b.slli(dst, idx, 4)
+        b.addi(dst, dst, pool)
+
+    # ---- insertion ----
+    b.li(kp, keys_addr)
+    with b.for_range(i, 0, n_keys):
+        b.lw(key, kp, 0)
+        b.addi(kp, kp, 4)
+        with b.if_else(nnodes, "==", 1) as nonempty:
+            # first real node: bit=31, key
+            node_addr(node_p, nnodes)
+            b.li(t, 31)
+            b.sw(t, node_p, 0)
+            b.sw(b.zero, node_p, 4)
+            b.sw(b.zero, node_p, 8)
+            b.sw(key, node_p, 12)
+            b.addi(nnodes, nnodes, 1)
+            nonempty()
+            b.li(cur, 1)
+            with b.loop() as walk:
+                node_addr(node_p, cur)
+                b.lw(t, node_p, 12)
+                walk.break_if(t, "==", key)  # duplicate: nothing to do
+                b.lw(bit, node_p, 0)
+                # side offset: 4 if bit clear, 8 if set
+                b.srl(t, key, bit)
+                b.andi(t, t, 1)
+                b.slli(side, t, 2)
+                b.addi(side, side, 4)
+                b.add(t, node_p, side)
+                b.lw(nxt, t, 0)
+                with b.if_(nxt, "==", 0):
+                    # allocate child: bit-1 (floor 0), key
+                    node_addr(nxt, nnodes)
+                    b.addi(bit, bit, -1)
+                    with b.if_(bit, "<", 0):
+                        b.li(bit, 0)
+                    b.sw(bit, nxt, 0)
+                    b.sw(b.zero, nxt, 4)
+                    b.sw(b.zero, nxt, 8)
+                    b.sw(key, nxt, 12)
+                    b.add(t, node_p, side)
+                    b.sw(nnodes, t, 0)
+                    b.addi(nnodes, nnodes, 1)
+                    walk.break_()
+                b.mv(cur, nxt)
+
+    # ---- search ----
+    csum, hp = b.regs("csum", "hp")
+    b.li(csum, 0)
+    b.li(kp, probes_addr)
+    b.li(hp, hits_addr)
+    with b.for_range(i, 0, n_probes):
+        b.lw(key, kp, 0)
+        b.addi(kp, kp, 4)
+        b.li(cur, 0)
+        with b.if_(nnodes, ">", 1):
+            b.li(cur, 1)
+        b.li(t, 0)  # hit flag in t
+        with b.loop() as walk:
+            walk.break_if(cur, "==", 0)
+            node_addr(node_p, cur)
+            b.addi(csum, csum, 1)
+            b.lw(nxt, node_p, 12)
+            with b.if_(nxt, "==", key):
+                b.li(t, 1)
+                walk.break_()
+            b.lw(bit, node_p, 0)
+            b.srl(nxt, key, bit)
+            b.andi(nxt, nxt, 1)
+            b.slli(side, nxt, 2)
+            b.addi(side, side, 4)
+            b.add(side, node_p, side)
+            b.lw(cur, side, 0)
+        b.sw(t, hp, 0)
+        b.addi(hp, hp, 4)
+    b.sw_addr(csum, csum_addr)
+    b.halt()
+
+    prog = b.build()
+    # guest walk semantics: side chosen by bit CLEAR -> left(4) else right(8);
+    # the host mirror uses: side = 1 if bit clear else 2
+    hits, checksum = _host_trie(keys, probes)
+    prog.meta["suite"] = "mibench"
+    prog.meta["checks"] = [(hits_addr, hits), (csum_addr, [checksum])]
+    return prog

@@ -1,0 +1,80 @@
+"""qsort - in-place quicksort over random u32 keys (MiBench).
+
+Iterative Hoare-partition quicksort with an explicit stack in guest memory,
+matching the irregular store pattern that makes qsort a classic cache
+workload. Verified against Python ``sorted``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled, words
+
+
+def build(scale: float = 1.0) -> Program:
+    n = scaled(700, scale, minimum=4)
+    keys = words(rng(0xC0FFEE), n)
+
+    b = ProgramBuilder("qsort")
+    arr = b.data_words(keys, "arr")
+    # worst-case segment stack: every push follows a pop of a larger range,
+    # so 2 words per outstanding range, bounded by n ranges
+    stack = b.space_words(2 * n + 8, "stack")
+
+    sp, lo, hi = b.regs("stk", "lo", "hi")
+    i, j, pivot = b.regs("i", "j", "pivot")
+    vi, vj, t = b.regs("vi", "vj", "t")
+
+    # push initial range [0, n-1] as byte offsets into arr
+    b.li(sp, stack)
+    b.li(t, arr)
+    b.sw(t, sp, 0)
+    b.li(t, arr + 4 * (n - 1))
+    b.sw(t, sp, 4)
+    b.addi(sp, sp, 8)
+
+    with b.loop() as main:
+        main.break_if(sp, "<=u", stack)  # stack empty
+        b.addi(sp, sp, -8)
+        b.lw(lo, sp, 0)
+        b.lw(hi, sp, 4)
+        main.continue_if(lo, ">=u", hi)
+        # pivot = arr[(lo+hi)/2] (word-aligned midpoint)
+        b.add(t, lo, hi)
+        b.srli(t, t, 3)
+        b.slli(t, t, 2)
+        b.lw(pivot, t, 0)
+        b.mv(i, lo)
+        b.mv(j, hi)
+        with b.loop() as part:  # Hoare partition
+            with b.loop() as fwd:
+                b.lw(vi, i, 0)
+                fwd.break_if(vi, ">=u", pivot)
+                b.addi(i, i, 4)
+            with b.loop() as bwd:
+                b.lw(vj, j, 0)
+                bwd.break_if(vj, "<=u", pivot)
+                b.addi(j, j, -4)
+            part.break_if(i, ">u", j)
+            b.sw(vj, i, 0)
+            b.sw(vi, j, 0)
+            b.addi(i, i, 4)
+            b.addi(j, j, -4)
+            part.continue_if(i, "<=u", j)
+            part.break_()
+        # push [lo, j] and [i, hi]
+        with b.if_(lo, "<u", j):
+            b.sw(lo, sp, 0)
+            b.sw(j, sp, 4)
+            b.addi(sp, sp, 8)
+        with b.if_(i, "<u", hi):
+            b.sw(i, sp, 0)
+            b.sw(hi, sp, 4)
+            b.addi(sp, sp, 8)
+    b.halt()
+
+    prog = b.build()
+    prog.meta["suite"] = "mibench"
+    prog.meta["checks"] = [(arr, sorted(keys))]
+    return prog

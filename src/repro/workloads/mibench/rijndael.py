@@ -1,0 +1,309 @@
+"""rijndael_e / rijndael_d - AES-128 ECB encryption/decryption (MiBench).
+
+Real table-driven AES: the guest performs SubBytes/ShiftRows/MixColumns/
+AddRoundKey with S-box and GF(2^8) multiplication tables placed in data
+memory (byte loads, exactly the access pattern of MiBench's rijndael).
+Round keys are expanded on the host, as distributed MiBench does via its
+key-setup call, and verified against a from-scratch host AES mirror.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import rng, scaled
+
+# ---------------------------------------------------------------------------
+# host-side AES-128 reference (from first principles, no external deps)
+# ---------------------------------------------------------------------------
+
+
+def _rotl8(x: int, n: int) -> int:
+    return ((x << n) | (x >> (8 - n))) & 0xFF
+
+
+def make_sbox() -> list[int]:
+    sbox = [0] * 256
+    p = q = 1
+    while True:
+        # p = p * 3 in GF(2^8)
+        p = (p ^ (p << 1) ^ (0x1B if p & 0x80 else 0)) & 0xFF
+        # q = q / 3 (multiply by 0xF6)
+        q ^= (q << 1) & 0xFF
+        q ^= (q << 2) & 0xFF
+        q ^= (q << 4) & 0xFF
+        q &= 0xFF
+        if q & 0x80:
+            q ^= 0x09
+        sbox[p] = (q ^ _rotl8(q, 1) ^ _rotl8(q, 2) ^ _rotl8(q, 3)
+                   ^ _rotl8(q, 4) ^ 0x63)
+        if p == 1:
+            break
+    sbox[0] = 0x63
+    return sbox
+
+
+SBOX = make_sbox()
+INV_SBOX = [0] * 256
+for _i, _v in enumerate(SBOX):
+    INV_SBOX[_v] = _i
+
+
+def gmul(a: int, b: int) -> int:
+    out = 0
+    for _ in range(8):
+        if b & 1:
+            out ^= a
+        hi = a & 0x80
+        a = (a << 1) & 0xFF
+        if hi:
+            a ^= 0x1B
+        b >>= 1
+    return out
+
+
+MUL = {n: [gmul(x, n) for x in range(256)] for n in (2, 3, 9, 11, 13, 14)}
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+# ShiftRows maps output byte i to input byte _SHIFT[i] (column-major state)
+_SHIFT = [(4 * ((i // 4 + i % 4) % 4) + i % 4) for i in range(16)]
+_INV_SHIFT = [0] * 16
+for _i, _s in enumerate(_SHIFT):
+    _INV_SHIFT[_s] = _i
+
+
+def expand_key(key: bytes) -> list[list[int]]:
+    """128-bit key -> 11 round keys of 16 bytes each."""
+    words = [list(key[4 * i:4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        tmp = list(words[i - 1])
+        if i % 4 == 0:
+            tmp = tmp[1:] + tmp[:1]
+            tmp = [SBOX[x] for x in tmp]
+            tmp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], tmp)])
+    return [sum((words[4 * r + c] for c in range(4)), [])
+            for r in range(11)]
+
+
+def _add_rk(state: list[int], rk: list[int]) -> list[int]:
+    return [a ^ b for a, b in zip(state, rk)]
+
+
+def aes_encrypt_block(block: bytes, rks: list[list[int]]) -> bytes:
+    s = _add_rk(list(block), rks[0])
+    for rnd in range(1, 10):
+        s = [SBOX[s[_SHIFT[i]]] for i in range(16)]
+        mixed = []
+        for c in range(4):
+            a = s[4 * c:4 * c + 4]
+            mixed += [
+                MUL[2][a[0]] ^ MUL[3][a[1]] ^ a[2] ^ a[3],
+                a[0] ^ MUL[2][a[1]] ^ MUL[3][a[2]] ^ a[3],
+                a[0] ^ a[1] ^ MUL[2][a[2]] ^ MUL[3][a[3]],
+                MUL[3][a[0]] ^ a[1] ^ a[2] ^ MUL[2][a[3]],
+            ]
+        s = _add_rk(mixed, rks[rnd])
+    s = [SBOX[s[_SHIFT[i]]] for i in range(16)]
+    return bytes(_add_rk(s, rks[10]))
+
+
+def aes_decrypt_block(block: bytes, rks: list[list[int]]) -> bytes:
+    s = _add_rk(list(block), rks[10])
+    for rnd in range(9, 0, -1):
+        s = [INV_SBOX[s[_INV_SHIFT[i]]] for i in range(16)]
+        s = _add_rk(s, rks[rnd])
+        mixed = []
+        for c in range(4):
+            a = s[4 * c:4 * c + 4]
+            mixed += [
+                MUL[14][a[0]] ^ MUL[11][a[1]] ^ MUL[13][a[2]] ^ MUL[9][a[3]],
+                MUL[9][a[0]] ^ MUL[14][a[1]] ^ MUL[11][a[2]] ^ MUL[13][a[3]],
+                MUL[13][a[0]] ^ MUL[9][a[1]] ^ MUL[14][a[2]] ^ MUL[11][a[3]],
+                MUL[11][a[0]] ^ MUL[13][a[1]] ^ MUL[9][a[2]] ^ MUL[14][a[3]],
+            ]
+        s = mixed
+    s = [INV_SBOX[s[_INV_SHIFT[i]]] for i in range(16)]
+    return bytes(_add_rk(s, rks[0]))
+
+
+# ---------------------------------------------------------------------------
+# guest kernel
+# ---------------------------------------------------------------------------
+
+
+def _emit_lookup(b, dst, table_base_reg, idx_reg, t):
+    b.add(t, table_base_reg, idx_reg)
+    b.lbu(dst, t, 0)
+
+
+def _build(decrypt: bool, scale: float) -> Program:
+    nblocks = scaled(42, scale, minimum=1)
+    rnd = rng(0xAE5 + decrypt)
+    key = bytes(rnd.randrange(256) for _ in range(16))
+    rks = expand_key(key)
+    plain = bytes(rnd.randrange(256) for _ in range(16 * nblocks))
+    if decrypt:
+        guest_in = b"".join(aes_encrypt_block(plain[i:i + 16], rks)
+                            for i in range(0, len(plain), 16))
+        expected = plain
+    else:
+        guest_in = plain
+        expected = b"".join(aes_encrypt_block(plain[i:i + 16], rks)
+                            for i in range(0, len(plain), 16))
+
+    name = "rijndael_d" if decrypt else "rijndael_e"
+    b = ProgramBuilder(name)
+    sbox_addr = b.data_bytes(bytes(INV_SBOX if decrypt else SBOX), "sbox")
+    if decrypt:
+        t14 = b.data_bytes(bytes(MUL[14]), "mul14")
+        t11 = b.data_bytes(bytes(MUL[11]), "mul11")
+        t13 = b.data_bytes(bytes(MUL[13]), "mul13")
+        t9 = b.data_bytes(bytes(MUL[9]), "mul9")
+        mix_tables = (t14, t11, t13, t9)
+    else:
+        t2 = b.data_bytes(bytes(MUL[2]), "mul2")
+        t3 = b.data_bytes(bytes(MUL[3]), "mul3")
+    rk_addr = b.data_bytes(bytes(sum(rks, [])), "round_keys")
+    in_addr = b.data_bytes(guest_in, "input")
+    out_addr = b.space_bytes(16 * nblocks, "output")
+    state = b.space_bytes(16, "state")
+    tmp16 = b.space_bytes(16, "tmp16")
+
+    blk, r, t, u, v = b.regs("blk", "r", "t", "u", "v")
+    inp, outp, rkp = b.regs("inp", "outp", "rkp")
+    sboxr, st, tm = b.regs("sboxr", "st", "tm")
+    a0, a1, a2, a3 = b.regs("a0", "a1", "a2", "a3")
+
+    b.li(sboxr, sbox_addr)
+    b.li(st, state)
+    b.li(tm, tmp16)
+    b.li(inp, in_addr)
+    b.li(outp, out_addr)
+
+    shift_map = _INV_SHIFT if decrypt else _SHIFT
+
+    def add_round_key():
+        """state ^= current round key (rkp), word-wise."""
+        for w in range(4):
+            b.lw(u, st, 4 * w)
+            b.lw(v, rkp, 4 * w)
+            b.xor(u, u, v)
+            b.sw(u, st, 4 * w)
+
+    def sub_shift():
+        """tmp = SubBytes(ShiftRows(state)); then copy back."""
+        for out_i in range(16):
+            b.lbu(u, st, shift_map[out_i])
+            _emit_lookup(b, u, sboxr, u, t)
+            b.sb(u, tm, out_i)
+        for w in range(4):
+            b.lw(u, tm, 4 * w)
+            b.sw(u, st, 4 * w)
+
+    def mix_columns_enc():
+        tbl2, tbl3 = b.regs("tbl2", "tbl3")
+        b.li(tbl2, t2)
+        b.li(tbl3, t3)
+        for c in range(4):
+            b.lbu(a0, st, 4 * c)
+            b.lbu(a1, st, 4 * c + 1)
+            b.lbu(a2, st, 4 * c + 2)
+            b.lbu(a3, st, 4 * c + 3)
+            rows = [
+                ((tbl2, a0), (tbl3, a1), (None, a2), (None, a3)),
+                ((None, a0), (tbl2, a1), (tbl3, a2), (None, a3)),
+                ((None, a0), (None, a1), (tbl2, a2), (tbl3, a3)),
+                ((tbl3, a0), (None, a1), (None, a2), (tbl2, a3)),
+            ]
+            for ridx, terms in enumerate(rows):
+                first = True
+                for tbl, areg in terms:
+                    if tbl is None:
+                        val = areg
+                    else:
+                        _emit_lookup(b, v, tbl, areg, t)
+                        val = v
+                    if first:
+                        b.mv(u, val)
+                        first = False
+                    else:
+                        b.xor(u, u, val)
+                b.sb(u, st, 4 * c + ridx)
+        b.free(tbl2, tbl3)
+
+    def mix_columns_dec():
+        tA, tB, tC, tD = b.regs("t14", "t11", "t13", "t9")
+        b.li(tA, mix_tables[0])
+        b.li(tB, mix_tables[1])
+        b.li(tC, mix_tables[2])
+        b.li(tD, mix_tables[3])
+        order = [tA, tB, tC, tD]
+        for c in range(4):
+            b.lbu(a0, st, 4 * c)
+            b.lbu(a1, st, 4 * c + 1)
+            b.lbu(a2, st, 4 * c + 2)
+            b.lbu(a3, st, 4 * c + 3)
+            regs_a = [a0, a1, a2, a3]
+            for ridx in range(4):
+                first = True
+                for k in range(4):
+                    tbl = order[(k - ridx) % 4]
+                    _emit_lookup(b, v, tbl, regs_a[k], t)
+                    if first:
+                        b.mv(u, v)
+                        first = False
+                    else:
+                        b.xor(u, u, v)
+                b.sb(u, st, 4 * c + ridx)
+        b.free(tA, tB, tC, tD)
+
+    with b.for_range(blk, 0, nblocks):
+        # load block into state
+        for w in range(4):
+            b.lw(u, inp, 4 * w)
+            b.sw(u, st, 4 * w)
+        b.addi(inp, inp, 16)
+        if not decrypt:
+            b.li(rkp, rk_addr)  # rk0
+            add_round_key()
+            with b.for_range(r, 0, 9):
+                b.addi(rkp, rkp, 16)
+                sub_shift()
+                mix_columns_enc()
+                add_round_key()
+            sub_shift()
+            b.addi(rkp, rkp, 16)  # rk10
+            add_round_key()
+        else:
+            b.li(rkp, rk_addr + 160)  # rk10
+            add_round_key()
+            with b.for_range(r, 0, 9):
+                b.addi(rkp, rkp, -16)
+                sub_shift()
+                add_round_key()
+                mix_columns_dec()
+            sub_shift()
+            b.li(rkp, rk_addr)  # rk0
+            add_round_key()
+        for w in range(4):
+            b.lw(u, st, 4 * w)
+            b.sw(u, outp, 4 * w)
+        b.addi(outp, outp, 16)
+    b.halt()
+
+    prog = b.build()
+    exp_words = [int.from_bytes(expected[i:i + 4], "little")
+                 for i in range(0, len(expected), 4)]
+    prog.meta["suite"] = "mibench"
+    prog.meta["checks"] = [(out_addr, exp_words)]
+    return prog
+
+
+def build_rijndael_e(scale: float = 1.0) -> Program:
+    return _build(False, scale)
+
+
+def build_rijndael_d(scale: float = 1.0) -> Program:
+    return _build(True, scale)

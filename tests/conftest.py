@@ -1,0 +1,56 @@
+"""Shared fixtures: small programs, fast configs, direct-memsys harnesses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.mem.nvm import NVMainMemory
+from repro.mem.setassoc import CacheGeometry
+from repro.sim.config import SimConfig
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """A 512 B, 2-way, 64 B-line cache: 4 sets, 8 lines - easy to reason
+    about evictions."""
+    return CacheGeometry(size_bytes=512, assoc=2, line_bytes=64)
+
+
+@pytest.fixture
+def fresh_nvm() -> NVMainMemory:
+    return NVMainMemory([0] * (1 << 16))  # 256 KB
+
+
+@pytest.fixture
+def quick_config() -> SimConfig:
+    """Default paper config (kept as a fixture so tests read intent)."""
+    return SimConfig()
+
+
+def build_store_loop(n: int = 64, stride_words: int = 16,
+                     base: int = 0x2000) -> "Program":
+    """A program storing i to base + i*stride (one line apart by default)."""
+    b = ProgramBuilder("store_loop")
+    i, addr = b.regs("i", "addr")
+    b.li(addr, base)
+    with b.for_range(i, 0, n):
+        b.sw(i, addr, 0)
+        b.add(addr, addr, stride_words * 4)
+    b.halt()
+    return b.build()
+
+
+def build_sum_program(n: int = 100) -> "Program":
+    """Sums 0..n-1 into memory word at symbol 'out'."""
+    b = ProgramBuilder("sum")
+    out = b.space_words(1, "out")
+    acc, i = b.regs("acc", "i")
+    b.li(acc, 0)
+    with b.for_range(i, 0, n):
+        b.add(acc, acc, i)
+    b.sw_addr(acc, out)
+    b.halt()
+    prog = b.build()
+    prog.meta["checks"] = [(out, [n * (n - 1) // 2])]
+    return prog

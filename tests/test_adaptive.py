@@ -1,0 +1,112 @@
+"""Boot-time adaptive maxline controller (§4) and dynamic adaptation."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveController
+from repro.core.dynamic import DynamicAdaptation
+from repro.errors import ConfigError
+
+
+class TestAdaptiveController:
+    def test_no_signal_keeps_threshold(self):
+        c = AdaptiveController()
+        assert c.decide([], 4) == 4
+        assert c.decide([1000], 4) == 4
+        assert c.reconfig_count == 0
+
+    def test_raises_on_longer_on_time(self):
+        c = AdaptiveController()
+        assert c.decide([1000, 2000], 4) == 5
+        assert c.raise_count == 1
+        assert c.reconfig_count == 1
+
+    def test_lowers_on_shorter_on_time(self):
+        c = AdaptiveController()
+        assert c.decide([2000, 1000], 4) == 3
+        assert c.lower_count == 1
+
+    def test_stable_band_holds(self):
+        c = AdaptiveController()
+        assert c.decide([1000, 1050], 4) == 4
+        assert c.reconfig_count == 0
+
+    def test_bounds_respected(self):
+        cfg = AdaptiveConfig(min_maxline=2, max_maxline=6)
+        c = AdaptiveController(cfg)
+        assert c.decide([1000, 9000], 6) == 6  # capped
+        assert c.decide([9000, 100], 2) == 2   # floored
+
+    def test_out_of_range_current_clamped(self):
+        c = AdaptiveController(AdaptiveConfig(min_maxline=2, max_maxline=6))
+        assert c.decide([1000, 1000], 8) == 6
+
+    def test_min_max_seen(self):
+        c = AdaptiveController()
+        c.decide([1000, 2000], 4)   # 5
+        c.decide([2000, 200], 5)    # 4
+        c.decide([200, 30], 4)      # 3
+        assert c.min_max_seen == (3, 5)
+
+    def test_prediction_accuracy_tracks_decisions(self):
+        c = AdaptiveController()
+        c.decide([1000, 2000], 4)   # raise (predict good source)
+        c.decide([2000, 2100], 5)   # stayed long: raise was correct (1/1)
+        assert c.prediction_accuracy == 1.0
+        c.decide([2100, 100], 5)    # collapse: the keep was wrong (1/2)
+        c.decide([100, 5000], 4)    # rebound: the lower was wrong (1/3)
+        assert c.prediction_accuracy == pytest.approx(1 / 3)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(min_maxline=5, max_maxline=2)
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(up_ratio=0.9)
+
+
+class _FakeSystem:
+    """Minimal surface DynamicAdaptation needs."""
+
+    def __init__(self, energy_nj):
+        from repro.energy.capacitor import Capacitor
+        self.capacitor = Capacitor(1e-6, 3.5, 2.8)
+        self.capacitor.consume(self.capacitor.energy - energy_nj)
+        self.reserve_updates = 0
+
+    def compute_reserve_nj(self, maxline):
+        return 100.0 * maxline
+
+    def update_reserve(self):
+        self.reserve_updates += 1
+
+
+class TestDynamicAdaptation:
+    def make_wl(self, maxline):
+        from repro.caches.params import CacheParams
+        from repro.core.wl_cache import WLCache
+        from repro.mem.nvm import NVMainMemory
+        from repro.mem.setassoc import CacheGeometry
+        return WLCache(NVMainMemory([0] * 256), CacheGeometry(512, 2, 64),
+                       "lru", CacheParams(), dq_capacity=8, maxline=maxline)
+
+    def test_raises_with_plentiful_energy(self):
+        system = _FakeSystem(energy_nj=6000.0)
+        dyn = DynamicAdaptation(system)
+        wl = self.make_wl(4)
+        assert dyn.try_raise_maxline(wl)
+        assert wl.maxline == 5
+        assert system.reserve_updates == 1
+        assert dyn.raises == 1
+
+    def test_rejects_when_energy_short(self):
+        system = _FakeSystem(energy_nj=4000.0)  # barely above floor (3920)
+        dyn = DynamicAdaptation(system)
+        wl = self.make_wl(4)
+        assert not dyn.try_raise_maxline(wl)
+        assert wl.maxline == 4
+        assert dyn.rejections == 1
+
+    def test_rejects_at_capacity(self):
+        system = _FakeSystem(energy_nj=6000.0)
+        dyn = DynamicAdaptation(system)
+        wl = self.make_wl(8)  # == dq capacity
+        assert not dyn.try_raise_maxline(wl)

@@ -1,0 +1,112 @@
+"""Analysis layer: gmean, tables, CSV, energy breakdown, hardware cost."""
+
+import os
+
+import pytest
+
+from repro.analysis.energy_breakdown import breakdown_totals, normalized_breakdown
+from repro.analysis.hwcost import (cache_cost, dirty_queue_cost,
+                                   hardware_cost_report, sram_array_cost)
+from repro.analysis.speedup import gmean, speedup, suite_gmeans
+from repro.analysis.tables import format_table, write_csv
+from repro.errors import ConfigError
+from repro.sim.results import EnergyBreakdown, RunResult
+
+
+class TestSpeedup:
+    def test_gmean(self):
+        assert gmean([2, 8]) == pytest.approx(4.0)
+        assert gmean([1, 1, 1]) == 1.0
+
+    def test_gmean_errors(self):
+        with pytest.raises(ConfigError):
+            gmean([])
+        with pytest.raises(ConfigError):
+            gmean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(100, 50) == 2.0
+        with pytest.raises(ConfigError):
+            speedup(0, 1)
+
+    def test_suite_gmeans(self):
+        per_app = {"a": 2.0, "b": 8.0, "x": 1.0, "y": 4.0}
+        out = suite_gmeans(per_app, media=["a", "b"], mi=["x", "y"])
+        assert out["gmean(Media)"] == pytest.approx(4.0)
+        assert out["gmean(Mi)"] == pytest.approx(2.0)
+        assert out["gmean(Total)"] == pytest.approx(gmean([2, 8, 1, 4]))
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "val"], [["a", 1.5], ["longer", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+        assert "1.500" in text
+
+    def test_write_csv(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.analysis.tables.results_dir",
+                            lambda: str(tmp_path))
+        path = write_csv("t", ["a", "b"], [[1, 2], [3, 4]])
+        assert os.path.exists(path)
+        assert open(path).read() == "a,b\n1,2\n3,4\n"
+
+
+def make_result(design, **energy):
+    res = RunResult(program="p", design=design, trace="t")
+    res.energy = EnergyBreakdown(**energy)
+    return res
+
+
+class TestBreakdown:
+    def test_totals_fold_checkpoint_into_compute(self):
+        r = make_result("d", compute_nj=10.0, checkpoint_nj=5.0,
+                        mem_write_nj=2.0)
+        tot = breakdown_totals([r])
+        assert tot["compute"] == 15.0
+        assert tot["mem_write"] == 2.0
+
+    def test_normalized_to_baseline(self):
+        base = make_result("base", compute_nj=50.0, mem_read_nj=50.0)
+        other = make_result("o", compute_nj=40.0, mem_read_nj=43.0)
+        out = normalized_breakdown({"base": [base], "o": [other]}, "base")
+        assert sum(out["base"].values()) == pytest.approx(100.0)
+        assert sum(out["o"].values()) == pytest.approx(83.0)
+
+
+class TestHwCost:
+    def test_dirty_queue_matches_paper_magnitudes(self):
+        dq = dirty_queue_cost()
+        assert dq.area_mm2 <= 0.005          # "at most 0.005 mm2"
+        assert dq.access_energy_nj <= 0.001  # "0.0008 nJ"
+        assert 0.05 <= dq.leakage_mw <= 0.15  # "only 0.1 mW"
+
+    def test_dq_leakage_is_small_fraction_of_nv_cache(self):
+        dq = dirty_queue_cost()
+        nv = cache_cost("nv", 8192, nv=True)
+        ratio = dq.leakage_mw / nv.leakage_mw
+        assert 0.05 <= ratio <= 0.15  # the paper's "only 9%"
+
+    def test_report_rows(self):
+        rows = hardware_cost_report()
+        assert [c.name for c in rows][0] == "DirtyQueue"
+        assert all(len(c.row()) == 4 for c in rows)
+
+    def test_scaling_with_node(self):
+        big = sram_array_cost("x", 1024, node_nm=90)
+        small = sram_array_cost("x", 1024, node_nm=45)
+        assert small.area_mm2 < big.area_mm2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sram_array_cost("x", 0)
+        with pytest.raises(ConfigError):
+            sram_array_cost("x", 64, node_nm=28)
+
+    def test_cam_and_ports_cost_more(self):
+        plain = sram_array_cost("x", 512)
+        cam = sram_array_cost("x", 512, cam=True)
+        dual = sram_array_cost("x", 512, ports=2)
+        assert cam.area_mm2 > plain.area_mm2
+        assert dual.access_energy_nj > plain.access_energy_nj

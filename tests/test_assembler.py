@@ -1,0 +1,123 @@
+"""Text assembler: parsing, labels, data directives, errors, disassembly."""
+
+import pytest
+
+from repro.cpu.core import InOrderCore
+from repro.errors import AssemblyError
+from repro.isa import assemble, disassemble, disassemble_one
+from repro.isa import opcodes as oc
+from repro.verify.oracle import FunctionalMemory
+
+
+def run_asm(text):
+    prog = assemble(text)
+    mem = FunctionalMemory(prog.initial_memory())
+    core = InOrderCore(prog, mem)
+    core.run_to_halt()
+    return prog, core, mem
+
+
+def test_countdown_loop():
+    prog, core, _ = run_asm("""
+        li   t0, 10
+        li   t1, 0
+    loop:
+        add  t1, t1, t0
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+    """)
+    assert core.regs[oc.REGISTER_BY_NAME["t1"]] == 55
+
+
+def test_memory_and_data_section():
+    prog, core, mem = run_asm("""
+        li   a0, 0x2000
+        lw   a1, 0(a0)
+        lw   a2, 4(a0)
+        add  a1, a1, a2
+        sw   a1, 8(a0)
+        halt
+    .data 0x2000
+        .word 40, 2
+    """)
+    assert mem.words[(0x2000 >> 2) + 2] == 42
+
+
+def test_byte_directive_and_comments():
+    prog, _, mem = run_asm("""
+        halt  # program does nothing
+    .data 0x3000
+        .byte 0xAA, 0xBB  // two bytes
+    """)
+    assert mem.words[0x3000 >> 2] == 0xBBAA
+
+
+def test_pseudo_instructions():
+    prog, core, _ = run_asm("""
+        li   t0, 7
+        mv   t1, t0
+        call fn
+        j    end
+    fn:
+        addi t1, t1, 1
+        ret
+    end:
+        halt
+    """)
+    assert core.regs[oc.REGISTER_BY_NAME["t1"]] == 8
+
+
+def test_labels_resolved_in_program():
+    prog = assemble("""
+    start:
+        nop
+    mid:
+        beq zero, zero, start
+        halt
+    """)
+    assert prog.labels["start"] == 0
+    assert prog.labels["mid"] == 1
+    assert prog.instructions[1][3] == 0
+
+
+@pytest.mark.parametrize("bad,msg", [
+    ("frobnicate t0, t1", "unknown mnemonic"),
+    ("add t0, t1", "rd, rs1, rs2"),
+    ("lw t0, t1", "off\\(base\\)"),
+    ("beq t0, t1, nowhere\nhalt", "undefined label"),
+    ("li t9, 4", "unknown register"),
+    ("dup:\ndup:\nhalt", "duplicate label"),
+    (".word 4", "outside .data"),
+])
+def test_errors(bad, msg):
+    with pytest.raises(AssemblyError, match=msg):
+        assemble(bad)
+
+
+def test_program_without_halt_rejected():
+    with pytest.raises(AssemblyError, match="no HALT"):
+        assemble("nop")
+
+
+def test_disassemble_roundtrip_mnemonics():
+    prog = assemble("""
+        li t0, 5
+        addi t0, t0, -1
+        lw a0, 8(sp)
+        sw a0, 0(sp)
+        bne t0, zero, end
+        jal ra, end
+        jalr zero, ra, 0
+    end:
+        halt
+    """)
+    text = disassemble(prog)
+    for m in ("li", "addi", "lw", "sw", "bne", "jal", "jalr", "halt", "end:"):
+        assert m in text
+
+
+def test_disassemble_one_formats():
+    assert disassemble_one((oc.ADD, 5, 6, 7)) == "add t0, t1, t2"
+    assert disassemble_one((oc.LW, 10, 2, 8)) == "lw a0, 8(sp)"
+    assert disassemble_one((oc.BEQ, 0, 0, 3)) == "beq zero, zero, @3"

@@ -1,0 +1,198 @@
+"""Baseline cache designs: write policies and persistence protocols."""
+
+import pytest
+
+from repro.caches.nvcache import NVCacheWB
+from repro.caches.nvsram import NVSRAMIdeal
+from repro.caches.params import CacheParams
+from repro.caches.replay import ReplayCache
+from repro.caches.vcache_wt import VCacheWT
+from repro.mem.memsys import NoCacheNVP
+from repro.mem.nvm import NVMainMemory
+from repro.mem.setassoc import CacheGeometry
+
+ADDR = 0x800
+
+
+def make(cls, **kwargs):
+    nvm = NVMainMemory([0] * (1 << 14))
+    geo = CacheGeometry(512, 2, 64)
+    return cls(nvm, geo, "lru", CacheParams(), **kwargs), nvm
+
+
+class TestNoCache:
+    def test_direct_nvm_semantics(self):
+        nvm = NVMainMemory([0] * 64)
+        mc = NoCacheNVP(nvm)
+        cycles = mc.store(8, 42, now=0)
+        assert cycles == nvm.timings.write_word
+        val, rc = mc.load(8, now=1)
+        assert (val, rc) == (42, nvm.timings.read_word)
+        assert mc.reserve_lines() == 0
+        assert mc.flush_for_checkpoint(0).lines_flushed == 0
+
+    def test_store_masked(self):
+        nvm = NVMainMemory([0xFFFFFFFF] * 4)
+        mc = NoCacheNVP(nvm)
+        mc.store_masked(0, 0x00, 0xFF, now=0)
+        assert nvm.words[0] == 0xFFFFFF00
+
+
+class TestVCacheWT:
+    def test_store_synchronously_writes_nvm(self):
+        wt, nvm = make(VCacheWT)
+        cycles = wt.store(ADDR, 7, now=0)
+        assert nvm.words[ADDR >> 2] == 7
+        assert cycles >= nvm.timings.write_word
+
+    def test_no_dirty_lines_ever(self):
+        wt, _ = make(VCacheWT)
+        for i in range(20):
+            wt.store(ADDR + 4 * i, i, now=i)
+            wt.load(ADDR, now=100 + i)
+        assert wt.array.dirty_lines() == []
+        assert wt.reserve_lines() == 0
+
+    def test_store_miss_does_not_allocate(self):
+        wt, _ = make(VCacheWT)
+        wt.store(ADDR, 1, now=0)
+        assert wt.array.find(ADDR) is None
+        assert wt.stats.write_misses == 1
+
+    def test_store_hit_updates_both(self):
+        wt, nvm = make(VCacheWT)
+        wt.load(ADDR, now=0)  # allocate via load
+        wt.store(ADDR, 9, now=1)
+        assert wt.stats.write_hits == 1
+        assert wt.array.find(ADDR).data[0] == 9
+        assert nvm.words[ADDR >> 2] == 9
+
+    def test_nothing_to_checkpoint(self):
+        wt, _ = make(VCacheWT)
+        wt.store(ADDR, 1, now=0)
+        assert wt.flush_for_checkpoint(1).lines_flushed == 0
+        wt.on_power_loss()
+        assert wt.array.valid_lines() == []
+
+
+class TestNVCacheWB:
+    def test_write_back_defers_nvm(self):
+        nc, nvm = make(NVCacheWB)
+        nc.store(ADDR, 5, now=0)
+        assert nvm.words[ADDR >> 2] == 0
+        assert nc.array.find(ADDR).dirty
+
+    def test_contents_survive_power_loss(self):
+        nc, nvm = make(NVCacheWB)
+        nc.store(ADDR, 5, now=0)
+        nc.flush_for_checkpoint(1)
+        nc.on_power_loss()
+        val, _ = nc.load(ADDR, now=2)
+        assert val == 5
+        assert nc.stats.read_hits == 1  # warm hit, not a refill
+
+    def test_finalize_flushes_dirty(self):
+        nc, nvm = make(NVCacheWB)
+        nc.store(ADDR, 5, now=0)
+        nc.finalize(now=1)
+        assert nvm.words[ADDR >> 2] == 5
+
+    def test_no_reserve_needed(self):
+        nc, _ = make(NVCacheWB)
+        assert nc.reserve_lines() == 0
+
+
+class TestNVSRAM:
+    def test_reserve_is_whole_cache(self):
+        ns, _ = make(NVSRAMIdeal)
+        assert ns.reserve_lines() == ns.geometry.n_lines
+
+    def test_checkpoint_and_warm_restore(self):
+        ns, nvm = make(NVSRAMIdeal)
+        ns.store(ADDR, 5, now=0)
+        report = ns.flush_for_checkpoint(now=1)
+        assert report.lines_flushed == 1
+        assert report.extra_energy_nj > 0
+        assert nvm.words[ADDR >> 2] == 0  # shadow copy, not main NVM
+        ns.on_power_loss()
+        assert ns.array.find(ADDR) is None
+        ns.on_boot(first=False)
+        line = ns.array.find(ADDR)
+        assert line is not None and line.dirty
+        assert line.data[0] == 5
+
+    def test_dirty_only_checkpoint(self):
+        ns, _ = make(NVSRAMIdeal)
+        ns.load(ADDR, now=0)           # clean line
+        ns.store(ADDR + 256, 1, now=1)  # dirty line
+        assert ns.flush_for_checkpoint(2).lines_flushed == 1
+
+    def test_eviction_writes_back_dirty(self):
+        ns, nvm = make(NVSRAMIdeal)
+        # fill one set (2 ways) then force an eviction
+        a = 0x1000
+        conflict1 = a + 512
+        conflict2 = a + 1024
+        ns.store(a, 1, now=0)
+        ns.store(conflict1, 2, now=1)
+        ns.store(conflict2, 3, now=2)
+        assert ns.stats.dirty_evictions == 1
+        assert nvm.words[a >> 2] == 1
+
+
+class TestReplayCache:
+    def test_store_persists_asynchronously(self):
+        rc, nvm = make(ReplayCache, region_stores=4)
+        rc.load(ADDR, now=0)  # warm the line
+        cycles = rc.store(ADDR, 7, now=100)
+        assert nvm.words[ADDR >> 2] == 7  # value applied at issue
+        assert cycles < nvm.timings.write_word  # latency hidden
+        assert rc.stats.async_writebacks == 1
+
+    def test_region_boundary_waits(self):
+        rc, nvm = make(ReplayCache, region_stores=3)
+        c1 = rc.store(ADDR, 1, now=0)
+        c2 = rc.store(ADDR + 4, 2, now=10)
+        c3 = rc.store(ADDR + 8, 3, now=20)  # region end: waits for ACKs
+        assert c3 > c1
+        assert rc.stats.store_stall_cycles > 0
+
+    def test_no_dirty_lines(self):
+        rc, _ = make(ReplayCache)
+        for i in range(10):
+            rc.store(ADDR + 4 * i, i, now=i * 3)
+        assert rc.array.dirty_lines() == []
+
+    def test_small_reserve(self):
+        rc, _ = make(ReplayCache, persist_depth=8)
+        assert rc.reserve_lines() == 0
+        assert 0 < rc.reserve_extra_energy_nj() < 100
+
+    def test_flush_reports_drain_time(self):
+        rc, _ = make(ReplayCache, region_stores=100)
+        rc.store(ADDR, 1, now=0)
+        report = rc.flush_for_checkpoint(now=1)
+        assert report.cycles > 0
+
+
+def test_all_designs_agree_on_values():
+    """The same access sequence yields identical observable values."""
+    import random
+    rnd = random.Random(7)
+    ops = [(rnd.choice(("load", "store")), rnd.randrange(0, 2048) & ~3,
+            rnd.getrandbits(32)) for _ in range(400)]
+    images = []
+    for cls in (VCacheWT, NVCacheWB, NVSRAMIdeal, ReplayCache):
+        design, nvm = make(cls)
+        t = 0
+        loaded = []
+        for op, addr, val in ops:
+            if op == "load":
+                loaded.append(design.load(addr, t)[0])
+            else:
+                design.store(addr, val, t)
+            t += 25
+        design.finalize(t)
+        images.append((loaded, nvm.words))
+    for other in images[1:]:
+        assert other == images[0]

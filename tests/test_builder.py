@@ -1,0 +1,254 @@
+"""ProgramBuilder DSL semantics, validated by executing built programs."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.cpu.core import InOrderCore
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import DATA_BASE
+from repro.verify.oracle import FunctionalMemory
+
+
+def run(prog):
+    mem = FunctionalMemory(prog.initial_memory())
+    core = InOrderCore(prog, mem)
+    core.run_to_halt()
+    return core, mem
+
+
+def word(mem, addr):
+    return mem.words[addr >> 2]
+
+
+class TestRegisters:
+    def test_alloc_free_cycle(self):
+        b = ProgramBuilder("t")
+        r = b.reg("x")
+        b.free(r)
+        r2 = b.reg("y")
+        assert r2.n == r.n  # LIFO-ish reuse
+
+    def test_exhaustion(self):
+        b = ProgramBuilder("t")
+        for _ in range(28):
+            b.reg()
+        with pytest.raises(AssemblyError, match="out of registers"):
+            b.reg()
+
+    def test_double_free(self):
+        b = ProgramBuilder("t")
+        r = b.reg()
+        b.free(r)
+        with pytest.raises(AssemblyError):
+            b.free(r)
+
+    def test_scratch_scope(self):
+        b = ProgramBuilder("t")
+        with b.scratch("a", "b") as (ra, rb):
+            assert ra.n != rb.n
+        # both returned to the pool
+        with b.scratch() as rc:
+            assert rc.n in (ra.n, rb.n)
+
+
+class TestData:
+    def test_data_words_roundtrip(self):
+        b = ProgramBuilder("t")
+        addr = b.data_words([1, 2, 0xFFFFFFFF], "arr")
+        assert addr >= DATA_BASE and addr % 4 == 0
+        b.halt()
+        prog = b.build()
+        assert prog.data[addr >> 2] == 1
+        assert prog.data[(addr >> 2) + 2] == 0xFFFFFFFF
+        assert prog.symbols["arr"] == addr
+
+    def test_data_bytes_little_endian(self):
+        b = ProgramBuilder("t")
+        addr = b.data_bytes(bytes([0x11, 0x22, 0x33, 0x44, 0x55]), "bs")
+        b.halt()
+        prog = b.build()
+        assert prog.data[addr >> 2] == 0x44332211
+        assert prog.data[(addr >> 2) + 1] == 0x55
+
+    def test_duplicate_symbol_rejected(self):
+        b = ProgramBuilder("t")
+        b.space_words(1, "x")
+        with pytest.raises(AssemblyError, match="duplicate"):
+            b.space_words(1, "x")
+
+    def test_overflow_detection(self):
+        b = ProgramBuilder("t", mem_bytes=16384)
+        with pytest.raises(AssemblyError, match="overflows"):
+            b.space_words(100000)
+
+
+class TestControlFlow:
+    def test_for_range_simple(self):
+        b = ProgramBuilder("t")
+        out = b.space_words(1, "out")
+        acc, i = b.regs("acc", "i")
+        b.li(acc, 0)
+        with b.for_range(i, 0, 10):
+            b.add(acc, acc, i)
+        b.sw_addr(acc, out)
+        core, mem = run(b.build())
+        assert word(mem, out) == 45
+
+    def test_for_range_negative_step(self):
+        b = ProgramBuilder("t")
+        out = b.space_words(1, "out")
+        acc, i = b.regs("acc", "i")
+        b.li(acc, 0)
+        with b.for_range(i, 9, -1, step=-1):
+            b.add(acc, acc, i)
+        b.sw_addr(acc, out)
+        _, mem = run(b.build())
+        assert word(mem, out) == 45
+
+    def test_for_range_empty(self):
+        b = ProgramBuilder("t")
+        out = b.space_words(1, "out")
+        acc, i = b.regs("acc", "i")
+        b.li(acc, 7)
+        with b.for_range(i, 5, 5):
+            b.li(acc, 0)
+        b.sw_addr(acc, out)
+        _, mem = run(b.build())
+        assert word(mem, out) == 7
+
+    def test_for_range_register_bounds(self):
+        b = ProgramBuilder("t")
+        out = b.space_words(1, "out")
+        acc, i, n = b.regs("acc", "i", "n")
+        b.li(acc, 0)
+        b.li(n, 6)
+        with b.for_range(i, 0, n):
+            b.addi(acc, acc, 2)
+        b.sw_addr(acc, out)
+        _, mem = run(b.build())
+        assert word(mem, out) == 12
+
+    def test_while(self):
+        b = ProgramBuilder("t")
+        out = b.space_words(1, "out")
+        x, c = b.regs("x", "c")
+        b.li(x, 100)
+        b.li(c, 0)
+        with b.while_(x, ">", 1):
+            b.srli(x, x, 1)
+            b.addi(c, c, 1)
+        b.sw_addr(c, out)
+        _, mem = run(b.build())
+        assert word(mem, out) == 6  # floor(log2(100)) = 6
+
+    def test_loop_break_continue(self):
+        b = ProgramBuilder("t")
+        out = b.space_words(1, "out")
+        i, acc = b.regs("i", "acc")
+        b.li(i, 0)
+        b.li(acc, 0)
+        with b.loop() as L:
+            b.addi(i, i, 1)
+            L.break_if(i, ">", 10)
+            # skip even numbers
+            with b.scratch() as t:
+                b.andi(t, i, 1)
+                L.continue_if(t, "==", 0)
+            b.add(acc, acc, i)
+        b.sw_addr(acc, out)
+        _, mem = run(b.build())
+        assert word(mem, out) == 1 + 3 + 5 + 7 + 9
+
+    def test_if_else_both_arms(self):
+        for x, expect in ((3, 1), (9, 2)):
+            b = ProgramBuilder("t")
+            out = b.space_words(1, "out")
+            v, res = b.regs("v", "res")
+            b.li(v, x)
+            with b.if_else(v, "<", 5) as otherwise:
+                b.li(res, 1)
+                otherwise()
+                b.li(res, 2)
+            b.sw_addr(res, out)
+            _, mem = run(b.build())
+            assert word(mem, out) == expect
+
+    def test_if_without_else(self):
+        b = ProgramBuilder("t")
+        out = b.space_words(1, "out")
+        v = b.reg("v")
+        b.li(v, 1)
+        with b.if_(v, "==", 0):
+            b.li(v, 99)
+        b.sw_addr(v, out)
+        _, mem = run(b.build())
+        assert word(mem, out) == 1
+
+    def test_unsigned_conditions(self):
+        b = ProgramBuilder("t")
+        out = b.space_words(1, "out")
+        v, big = b.regs("v", "big")
+        b.li(big, 0xFFFFFFFF)  # -1 signed, huge unsigned
+        b.li(v, 0)
+        with b.if_(big, ">u", 5):
+            b.addi(v, v, 1)
+        with b.if_(big, "<", 0):
+            b.addi(v, v, 2)
+        b.sw_addr(v, out)
+        _, mem = run(b.build())
+        assert word(mem, out) == 3
+
+    def test_call_ret_and_stack(self):
+        b = ProgramBuilder("t")
+        out = b.space_words(1, "out")
+        x = b.reg("x")
+        fn = b.label("double")
+        done = b.label("done")
+        b.li(x, 21)
+        b.call(fn)
+        b.call(fn)
+        b.sw_addr(x, out)
+        b.j(done)
+        b.bind(fn)
+        b.push(x)
+        b.pop(x)
+        b.add(x, x, x)
+        b.ret()
+        b.bind(done)
+        b.halt()
+        _, mem = run(b.build())
+        assert word(mem, out) == 84
+
+
+class TestBuildErrors:
+    def test_unbound_label(self):
+        b = ProgramBuilder("t")
+        lbl = b.label("nowhere")
+        b.j(lbl)
+        with pytest.raises(AssemblyError, match="unbound"):
+            b.build()
+
+    def test_double_bind(self):
+        b = ProgramBuilder("t")
+        lbl = b.label()
+        b.bind(lbl)
+        with pytest.raises(AssemblyError, match="twice"):
+            b.bind(lbl)
+
+    def test_int_where_reg_expected(self):
+        b = ProgramBuilder("t")
+        with pytest.raises(AssemblyError):
+            b.lw(5, b.zero, 0)
+
+    def test_auto_halt_appended(self):
+        b = ProgramBuilder("t")
+        b.nop()
+        prog = b.build()
+        from repro.isa import opcodes as oc
+        assert prog.instructions[-1][0] == oc.HALT
+
+    def test_branch_bad_condition(self):
+        b = ProgramBuilder("t")
+        lbl = b.here()
+        with pytest.raises(AssemblyError, match="condition"):
+            b.branch(b.zero, "<>", b.zero, lbl)

@@ -1,0 +1,53 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "sha" in out and "WL-Cache" in out and "trace1" in out
+
+
+def test_run_no_failure(capsys):
+    assert main(["run", "sha", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "WL-Cache" in out
+    assert "crash consistency: verified" in out
+
+
+def test_run_with_trace_and_overrides(capsys):
+    assert main(["run", "qsort", "--scale", "0.5", "--trace", "trace2",
+                 "--maxline", "4", "--static", "--dq-policy", "lru"]) == 0
+    out = capsys.readouterr().out
+    assert "outages" in out
+
+
+def test_run_no_verify(capsys):
+    assert main(["run", "sha", "--scale", "0.2", "--no-verify"]) == 0
+    out = capsys.readouterr().out
+    assert "verified" not in out
+
+
+def test_compare(capsys):
+    assert main(["compare", "sha", "--scale", "0.3", "--trace", "trace1",
+                 "--designs", "NVSRAM(ideal)", "WL-Cache"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out and "NVSRAM(ideal)" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "doom3"])
+
+
+def test_dynamic_flag(capsys):
+    assert main(["run", "sha", "--scale", "0.2", "--trace", "solar",
+                 "--dynamic", "--static"]) == 0
+
+
+def test_capacitor_override(capsys):
+    assert main(["run", "sha", "--scale", "0.2", "--trace", "trace1",
+                 "--capacitor-uf", "10"]) == 0

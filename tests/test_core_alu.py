@@ -1,0 +1,150 @@
+"""Interpreter ALU semantics: bit-exact 32-bit integer behavior."""
+
+import pytest
+
+from repro.cpu.core import InOrderCore
+from repro.isa.builder import ProgramBuilder
+from repro.verify.oracle import FunctionalMemory
+
+U32 = 0xFFFFFFFF
+
+
+def run_unop(emit):
+    """Build a program with emit(b, dst-reg helpers), return final words."""
+    b = ProgramBuilder("t")
+    out = b.space_words(4, "out")
+    emit(b, out)
+    b.halt()
+    prog = b.build()
+    mem = FunctionalMemory(prog.initial_memory())
+    core = InOrderCore(prog, mem)
+    core.run_to_halt()
+    return [mem.words[(out >> 2) + i] for i in range(4)]
+
+
+def compute(op, a, bval):
+    """Run a single binary ALU op on constants; return the u32 result."""
+    def emit(b, out):
+        x, y, z = b.regs("x", "y", "z")
+        b.li(x, a)
+        b.li(y, bval)
+        getattr(b, op)(z, x, y)
+        b.sw_addr(z, out)
+    return run_unop(emit)[0]
+
+
+@pytest.mark.parametrize("a,b,expect", [
+    (2, 3, 5),
+    (0xFFFFFFFF, 1, 0),            # wraparound
+    (0x7FFFFFFF, 1, 0x80000000),   # signed overflow wraps
+])
+def test_add(a, b, expect):
+    assert compute("add", a, b) == expect
+
+
+def test_sub_wraps():
+    assert compute("sub", 0, 1) == U32
+    assert compute("sub", 5, 7) == (5 - 7) & U32
+
+
+def test_mul_low_bits():
+    assert compute("mul", 0x10000, 0x10000) == 0
+    assert compute("mul", 0xFFFFFFFF, 2) == 0xFFFFFFFE  # (-1)*2 = -2
+
+
+def test_mulh_signed():
+    # (-1) * (-1) = 1 -> high word 0
+    assert compute("mulh", U32, U32) == 0
+    # 2^31 * 2 as signed: (-2^31)*2 = -2^32 -> high = -1
+    assert compute("mulh", 0x80000000, 2) == U32
+    assert compute("mulh", 0x40000000, 4) == 1
+
+
+@pytest.mark.parametrize("a,b,expect", [
+    (7, 2, 3),
+    (-7 & U32, 2, -3 & U32),   # truncation toward zero
+    (7, -2 & U32, -3 & U32),
+    (5, 0, U32),               # div by zero -> -1 (RISC-V)
+    (0x80000000, U32, 0x80000000),  # overflow case
+])
+def test_div(a, b, expect):
+    assert compute("div", a, b) == expect
+
+
+@pytest.mark.parametrize("a,b,expect", [
+    (7, 2, 1),
+    (-7 & U32, 2, -1 & U32),
+    (7, -2 & U32, 1),
+    (5, 0, 5),                # rem by zero -> dividend
+])
+def test_rem(a, b, expect):
+    assert compute("rem", a, b) == expect
+
+
+def test_divu_remu():
+    assert compute("divu", 0xFFFFFFFE, 3) == 0xFFFFFFFE // 3
+    assert compute("remu", 0xFFFFFFFE, 3) == 0xFFFFFFFE % 3
+    assert compute("divu", 5, 0) == U32
+    assert compute("remu", 5, 0) == 5
+
+
+def test_logic_ops():
+    assert compute("and_", 0xF0F0, 0xFF00) == 0xF000
+    assert compute("or_", 0xF0F0, 0x0F0F) == 0xFFFF
+    assert compute("xor", 0xFFFF, 0x0F0F) == 0xF0F0
+
+
+def test_shifts():
+    assert compute("sll", 1, 33) == 2       # shift amount mod 32
+    assert compute("srl", 0x80000000, 31) == 1
+    assert compute("sra", 0x80000000, 31) == U32  # arithmetic
+
+
+def test_slt_family():
+    assert compute("slt", U32, 0) == 1      # -1 < 0 signed
+    assert compute("sltu", U32, 0) == 0     # max unsigned not < 0
+    assert compute("slt", 3, 5) == 1
+    assert compute("sltu", 3, 5) == 1
+
+
+def test_immediates_and_pseudo():
+    def emit(b, out):
+        x, y = b.regs("x", "y")
+        b.li(x, 10)
+        b.addi(y, x, -3)
+        b.sw_addr(y, out)
+        b.not_(y, x)
+        b.sw_addr(y, out + 4)
+        b.neg(y, x)
+        b.sw_addr(y, out + 8)
+        b.seqz(y, b.zero)
+        b.sw_addr(y, out + 12)
+    vals = run_unop(emit)
+    assert vals[0] == 7
+    assert vals[1] == (~10) & U32
+    assert vals[2] == (-10) & U32
+    assert vals[3] == 1
+
+
+def test_x0_is_hardwired_zero():
+    def emit(b, out):
+        x = b.reg("x")
+        b.li(x, 5)
+        # attempt to write x0 through the raw emitter
+        from repro.isa import opcodes as oc
+        b._emit(oc.ADDI, 0, x.n, 100)
+        b.sw_addr(b.zero, out)
+    assert run_unop(emit)[0] == 0
+
+
+def test_srai_vs_srli():
+    def emit(b, out):
+        x, y = b.regs("x", "y")
+        b.li(x, 0x80000000)
+        b.srai(y, x, 4)
+        b.sw_addr(y, out)
+        b.srli(y, x, 4)
+        b.sw_addr(y, out + 4)
+    vals = run_unop(emit)
+    assert vals[0] == 0xF8000000
+    assert vals[1] == 0x08000000

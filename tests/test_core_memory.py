@@ -1,0 +1,131 @@
+"""Interpreter memory semantics: word/half/byte access, alignment, bounds."""
+
+import pytest
+
+from repro.cpu.core import InOrderCore
+from repro.errors import ExecutionError
+from repro.isa.builder import ProgramBuilder
+from repro.verify.oracle import FunctionalMemory
+
+
+def run(prog):
+    mem = FunctionalMemory(prog.initial_memory())
+    core = InOrderCore(prog, mem)
+    core.run_to_halt()
+    return core, mem
+
+
+def test_word_store_load():
+    b = ProgramBuilder("t")
+    buf = b.space_words(2, "buf")
+    x, y, p = b.regs("x", "y", "p")
+    b.li(p, buf)
+    b.li(x, 0xCAFEBABE)
+    b.sw(x, p, 0)
+    b.lw(y, p, 0)
+    b.sw(y, p, 4)
+    b.halt()
+    _, mem = run(b.build())
+    assert mem.words[(buf >> 2) + 1] == 0xCAFEBABE
+
+
+def test_byte_access_little_endian():
+    b = ProgramBuilder("t")
+    buf = b.data_words([0x44332211], "buf")
+    out = b.space_words(4, "out")
+    p, v = b.regs("p", "v")
+    b.li(p, buf)
+    for i in range(4):
+        b.lbu(v, p, i)
+        b.sw_addr(v, out + 4 * i)
+    b.halt()
+    _, mem = run(b.build())
+    got = [mem.words[(out >> 2) + i] for i in range(4)]
+    assert got == [0x11, 0x22, 0x33, 0x44]
+
+
+def test_lb_sign_extends():
+    b = ProgramBuilder("t")
+    buf = b.data_words([0x000000F0], "buf")
+    out = b.space_words(2, "out")
+    p, v = b.regs("p", "v")
+    b.li(p, buf)
+    b.lb(v, p, 0)
+    b.sw_addr(v, out)
+    b.lbu(v, p, 0)
+    b.sw_addr(v, out + 4)
+    b.halt()
+    _, mem = run(b.build())
+    assert mem.words[out >> 2] == 0xFFFFFFF0
+    assert mem.words[(out >> 2) + 1] == 0xF0
+
+
+def test_sb_merges_byte():
+    b = ProgramBuilder("t")
+    buf = b.data_words([0xAABBCCDD], "buf")
+    p, v = b.regs("p", "v")
+    b.li(p, buf)
+    b.li(v, 0x42)
+    b.sb(v, p, 2)
+    b.halt()
+    _, mem = run(b.build())
+    assert mem.words[buf >> 2] == 0xAA42CCDD
+
+
+def test_halfword_access():
+    b = ProgramBuilder("t")
+    buf = b.data_words([0x8000BEEF], "buf")
+    out = b.space_words(3, "out")
+    p, v = b.regs("p", "v")
+    b.li(p, buf)
+    b.lhu(v, p, 0)
+    b.sw_addr(v, out)
+    b.lh(v, p, 2)  # 0x8000 -> sign extend
+    b.sw_addr(v, out + 4)
+    b.li(v, 0x1234)
+    b.sh(v, p, 0)
+    b.halt()
+    _, mem = run(b.build())
+    assert mem.words[out >> 2] == 0xBEEF
+    assert mem.words[(out >> 2) + 1] == 0xFFFF8000
+    assert mem.words[buf >> 2] == 0x80001234
+
+
+def test_misaligned_word_raises():
+    b = ProgramBuilder("t")
+    p, v = b.regs("p", "v")
+    b.li(p, 0x2001)
+    b.lw(v, p, 0)
+    b.halt()
+    with pytest.raises(ExecutionError, match="bad lw"):
+        run(b.build())
+
+
+def test_misaligned_half_raises():
+    b = ProgramBuilder("t")
+    p, v = b.regs("p", "v")
+    b.li(p, 0x2001)
+    b.lh(v, p, 0)
+    b.halt()
+    with pytest.raises(ExecutionError, match="bad lh"):
+        run(b.build())
+
+
+def test_out_of_bounds_raises():
+    b = ProgramBuilder("t")
+    p, v = b.regs("p", "v")
+    b.li(p, 1 << 20)  # == mem_bytes
+    b.lw(v, p, 0)
+    b.halt()
+    with pytest.raises(ExecutionError, match="bad lw"):
+        run(b.build())
+
+
+def test_store_out_of_bounds_raises():
+    b = ProgramBuilder("t")
+    p = b.reg("p")
+    b.li(p, (1 << 20) + 4)
+    b.sw(b.zero, p, 0)
+    b.halt()
+    with pytest.raises(ExecutionError, match="bad sw"):
+        run(b.build())

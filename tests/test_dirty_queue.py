@@ -1,0 +1,124 @@
+"""DirtyQueue unit behavior: insertion, duplicates, stale drops, policies."""
+
+import pytest
+
+from repro.core.dirty_queue import DQ_FIFO, DQ_LRU, DirtyQueue
+from repro.errors import ConfigError
+from repro.mem.setassoc import CacheGeometry, SetAssocArray
+
+
+@pytest.fixture
+def array():
+    arr = SetAssocArray(CacheGeometry(512, 2, 64))
+    return arr
+
+
+def dirty_line(arr, lineno):
+    line = arr.install(lineno << arr.line_shift, [0] * 16)
+    line.dirty = True
+    return line
+
+
+def test_insert_and_occupancy():
+    dq = DirtyQueue(8)
+    e1 = dq.insert(10)
+    e2 = dq.insert(11)
+    assert dq.occupancy == 2
+    assert dq.line_numbers() == [10, 11]
+    assert not e1.in_flight and not e2.in_flight
+
+
+def test_duplicate_insert_allowed_and_counted():
+    dq = DirtyQueue(8)
+    dq.insert(10)
+    dq.insert(10)
+    assert dq.occupancy == 2
+    assert dq.duplicate_inserts == 1
+
+
+def test_overflow_rejected():
+    dq = DirtyQueue(2)
+    dq.insert(1)
+    dq.insert(2)
+    with pytest.raises(ConfigError, match="overflow"):
+        dq.insert(3)
+
+
+def test_invalid_config():
+    with pytest.raises(ConfigError):
+        DirtyQueue(0)
+    with pytest.raises(ConfigError):
+        DirtyQueue(8, "mru")
+
+
+def test_fifo_victim_is_head(array):
+    dq = DirtyQueue(8, DQ_FIFO)
+    for lineno in (1, 2, 3):
+        dirty_line(array, lineno)
+        dq.insert(lineno)
+    victim = dq.select_victim(array)
+    assert victim.lineno == 1
+
+
+def test_lru_victim_is_least_recently_used_line(array):
+    dq = DirtyQueue(8, DQ_LRU)
+    lines = {}
+    for lineno in (1, 2, 3):
+        lines[lineno] = dirty_line(array, lineno)
+        dq.insert(lineno)
+    # touch 1 and 3, leaving 2 LRU
+    array.find(1 << array.line_shift)
+    array.find(3 << array.line_shift)
+    assert dq.select_victim(array).lineno == 2
+
+
+def test_in_flight_entries_not_reselected(array):
+    dq = DirtyQueue(8, DQ_FIFO)
+    for lineno in (1, 2):
+        dirty_line(array, lineno)
+        dq.insert(lineno)
+    first = dq.select_victim(array)
+    first.in_flight = True
+    second = dq.select_victim(array)
+    assert second is not first
+    assert second.lineno == 2
+
+
+def test_stale_entry_dropped_lazily(array):
+    """§5.4: entries whose line is gone or clean are ignored at selection."""
+    dq = DirtyQueue(8, DQ_FIFO)
+    l1 = dirty_line(array, 1)
+    dirty_line(array, 2)
+    dq.insert(1)
+    dq.insert(2)
+    l1.dirty = False  # line 1 cleaned behind the queue's back
+    victim = dq.select_victim(array)
+    assert victim.lineno == 2
+    assert dq.stale_drops == 1
+    assert dq.occupancy == 1  # stale entry removed
+
+
+def test_select_returns_none_when_empty_or_all_stale(array):
+    dq = DirtyQueue(8)
+    assert dq.select_victim(array) is None
+    dq.insert(99)  # no such line in the cache
+    assert dq.select_victim(array) is None
+    assert dq.occupancy == 0
+
+
+def test_remove_specific_entry():
+    dq = DirtyQueue(8)
+    e1 = dq.insert(1)
+    e2 = dq.insert(2)
+    dq.remove(e1)
+    assert dq.line_numbers() == [2]
+    dq.remove(e2)
+    assert dq.occupancy == 0
+
+
+def test_clear():
+    dq = DirtyQueue(8)
+    dq.insert(1)
+    dq.insert(2)
+    dq.clear()
+    assert dq.occupancy == 0

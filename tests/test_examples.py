@@ -1,0 +1,87 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable. They are executed in-process (importing their main()) with
+small workload scales via monkeypatched builders where needed.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _small(monkeypatch):
+    from repro.workloads import get_workload as orig
+
+    class Small:
+        def __init__(self, wl):
+            self._wl = wl
+
+        def build(self, scale: float = 1.0):
+            return self._wl.build(0.25)
+
+    return lambda n: Small(orig(n))
+
+
+def test_quickstart(monkeypatch, capsys):
+    mod = load_example("quickstart.py")
+    monkeypatch.setattr(mod, "get_workload", _small(monkeypatch))
+    mod.main()
+    out = capsys.readouterr().out
+    assert "crash consistency verified" in out
+
+
+def test_adaptive_runtime(monkeypatch, capsys):
+    mod = load_example("adaptive_runtime.py")
+    monkeypatch.setattr(mod, "get_workload", _small(monkeypatch))
+    monkeypatch.setattr(sys, "argv", ["adaptive_runtime.py", "sha"])
+    mod.main()
+    out = capsys.readouterr().out
+    assert "adaptive vs static" in out
+
+
+def test_crash_consistency_demo(monkeypatch, capsys):
+    mod = load_example("crash_consistency_demo.py")
+    monkeypatch.setattr(mod, "get_workload", _small(monkeypatch))
+    mod.main()
+    out = capsys.readouterr().out
+    assert "consistent: final NVM equals" in out
+    assert out.count("CORRUPTED") == 2  # both broken designs flagged
+
+
+def test_custom_workload(capsys):
+    mod = load_example("custom_workload.py")
+    mod.main()
+    out = capsys.readouterr().out
+    assert out.count("[verified]") == 5
+
+
+def test_energy_exploration(monkeypatch, capsys):
+    mod = load_example("energy_exploration.py")
+    monkeypatch.setattr(mod, "get_workload", _small(monkeypatch))
+    monkeypatch.setattr(sys, "argv", ["energy_exploration.py", "qsort"])
+    mod.main()
+    out = capsys.readouterr().out
+    assert "capacitor sweep" in out and "maxline sweep" in out
+
+
+def test_compare_designs(monkeypatch, capsys):
+    mod = load_example("compare_designs.py")
+    monkeypatch.setattr(sys, "argv", ["compare_designs.py", "sha"])
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "speedup vs NVSRAM(ideal)" in out

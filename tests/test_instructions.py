@@ -1,0 +1,55 @@
+"""Typed instruction constructors validate operands."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import opcodes as oc
+from repro.isa import instructions as ins
+
+
+def test_r_type_ok():
+    assert ins.r_type(oc.ADD, 1, 2, 3) == (oc.ADD, 1, 2, 3)
+
+
+def test_r_type_rejects_wrong_opcode():
+    with pytest.raises(AssemblyError):
+        ins.r_type(oc.ADDI, 1, 2, 3)
+
+
+def test_r_type_rejects_bad_register():
+    with pytest.raises(AssemblyError):
+        ins.r_type(oc.ADD, 32, 0, 0)
+    with pytest.raises(AssemblyError):
+        ins.r_type(oc.ADD, -1, 0, 0)
+
+
+def test_i_type_ok_and_range():
+    assert ins.i_type(oc.ADDI, 5, 6, -7) == (oc.ADDI, 5, 6, -7)
+    with pytest.raises(AssemblyError):
+        ins.i_type(oc.ADDI, 5, 6, 1 << 33)
+
+
+def test_li():
+    assert ins.li(3, 0xDEADBEEF) == (oc.LI, 3, 0xDEADBEEF, 0)
+
+
+def test_load_store():
+    assert ins.load(oc.LW, 1, 2, 8) == (oc.LW, 1, 2, 8)
+    assert ins.store(oc.SW, 1, 2, -4) == (oc.SW, 1, 2, -4)
+    with pytest.raises(AssemblyError):
+        ins.load(oc.SW, 1, 2, 0)
+    with pytest.raises(AssemblyError):
+        ins.store(oc.LW, 1, 2, 0)
+
+
+def test_branch_and_jumps():
+    assert ins.branch(oc.BNE, 1, 2, 10) == (oc.BNE, 1, 2, 10)
+    assert ins.jal(1, 5) == (oc.JAL, 1, 5, 0)
+    assert ins.jalr(0, 1, 0) == (oc.JALR, 0, 1, 0)
+    with pytest.raises(AssemblyError):
+        ins.branch(oc.ADD, 1, 2, 0)
+
+
+def test_sys():
+    assert ins.halt() == (oc.HALT, 0, 0, 0)
+    assert ins.nop() == (oc.NOP, 0, 0, 0)

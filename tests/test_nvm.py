@@ -1,0 +1,82 @@
+"""NVM main memory model: storage, timing, traffic, energy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.nvm import NVMainMemory, NVMTimings
+
+
+@pytest.fixture
+def nvm():
+    return NVMainMemory([0] * 1024, NVMTimings())
+
+
+def test_read_write_word(nvm):
+    cycles = nvm.write_word(8, 0xABCD)
+    assert cycles == nvm.timings.write_word
+    val, rcycles = nvm.read_word(8)
+    assert val == 0xABCD
+    assert rcycles == nvm.timings.read_word
+    assert nvm.reads == 1 and nvm.writes == 1
+
+
+def test_write_masks_to_u32(nvm):
+    nvm.write_word(0, 0x1_FFFF_FFFF)
+    assert nvm.words[0] == 0xFFFFFFFF
+
+
+def test_masked_write(nvm):
+    nvm.write_word(4, 0xAABBCCDD)
+    nvm.write_word_masked(4, 0x42 << 8, 0xFF << 8)
+    assert nvm.words[1] == 0xAABB42DD
+
+
+def test_line_ops(nvm):
+    data = list(range(16))
+    cycles = nvm.write_line(64, data)
+    assert cycles == nvm.timings.line_write(16)
+    assert nvm.words[16:32] == data
+    out, rc = nvm.read_line(64, 16)
+    assert out == data
+    assert rc == nvm.timings.line_read(16)
+    assert nvm.writes == 16 and nvm.reads == 16
+
+
+def test_line_timing_amortizes_burst():
+    t = NVMTimings()
+    assert t.line_read(16) == t.read_word + 15 * t.burst_word
+    assert t.line_read(16) < 16 * t.read_word
+    assert t.line_write(1) == t.write_word
+
+
+def test_burst_energy_cheaper_than_random():
+    nvm_line = NVMainMemory([0] * 64)
+    nvm_line.write_line(0, [1] * 16)
+    nvm_rand = NVMainMemory([0] * 64)
+    for i in range(16):
+        nvm_rand.write_word(4 * i, 1)
+    assert nvm_line.energy_write_nj < nvm_rand.energy_write_nj
+
+
+def test_energy_accumulates(nvm):
+    nvm.read_word(0)
+    nvm.write_word(0, 1)
+    assert nvm.energy_read_nj == nvm.timings.read_energy_nj
+    assert nvm.energy_write_nj == nvm.timings.write_energy_nj
+    assert nvm.total_energy_nj == pytest.approx(
+        nvm.timings.read_energy_nj + nvm.timings.write_energy_nj)
+
+
+def test_reset_stats(nvm):
+    nvm.write_word(0, 1)
+    nvm.reset_stats()
+    assert nvm.reads == 0 and nvm.writes == 0
+    assert nvm.total_energy_nj == 0.0
+    assert nvm.words[0] == 1  # contents survive stat reset
+
+
+def test_timings_validation():
+    with pytest.raises(ConfigError):
+        NVMTimings(read_word=-1)
+    with pytest.raises(ConfigError):
+        NVMTimings(write_energy_nj=-0.5)

@@ -1,0 +1,55 @@
+"""Opcode table consistency."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import opcodes as oc
+from repro.isa.instructions import format_of
+
+
+def test_mnemonics_cover_all_opcodes():
+    assert set(oc.MNEMONICS) == set(range(oc.NUM_OPCODES))
+
+
+def test_mnemonics_unique():
+    assert len(set(oc.MNEMONICS.values())) == oc.NUM_OPCODES
+
+
+def test_every_opcode_has_exactly_one_format():
+    groups = [oc.R_FORMAT, oc.I_FORMAT, oc.LI_FORMAT, oc.LOAD_FORMAT,
+              oc.STORE_FORMAT, oc.B_FORMAT, oc.J_FORMAT, oc.JR_FORMAT,
+              oc.SYS_FORMAT]
+    for op in range(oc.NUM_OPCODES):
+        assert sum(op in g for g in groups) == 1
+
+
+def test_format_of_known():
+    assert format_of(oc.ADD) == "R"
+    assert format_of(oc.ADDI) == "I"
+    assert format_of(oc.LI) == "LI"
+    assert format_of(oc.LW) == "LOAD"
+    assert format_of(oc.SW) == "STORE"
+    assert format_of(oc.BEQ) == "B"
+    assert format_of(oc.JAL) == "J"
+    assert format_of(oc.JALR) == "JR"
+    assert format_of(oc.HALT) == "SYS"
+
+
+def test_format_of_unknown_raises():
+    with pytest.raises(AssemblyError):
+        format_of(999)
+
+
+def test_register_names():
+    assert oc.REGISTER_BY_NAME["zero"] == 0
+    assert oc.REGISTER_BY_NAME["ra"] == 1
+    assert oc.REGISTER_BY_NAME["sp"] == 2
+    assert oc.REGISTER_BY_NAME["x31"] == 31
+    assert oc.REGISTER_BY_NAME["t6"] == 31
+    assert len(oc.REGISTER_NAMES) == 32
+
+
+def test_memory_ops_union():
+    assert oc.LW in oc.MEMORY_OPS
+    assert oc.SB in oc.MEMORY_OPS
+    assert oc.ADD not in oc.MEMORY_OPS

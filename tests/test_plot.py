@@ -1,0 +1,117 @@
+"""SVG chart generation from bench CSVs."""
+
+import pytest
+
+from repro.analysis.plot import (ChartData, plot_csv, read_csv,
+                                 render_bar_chart, render_line_chart,
+                                 _nice_ticks)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def sample_csv(tmp_path):
+    p = tmp_path / "fig.csv"
+    p.write_text(
+        "app,DesignA,DesignB\n"
+        "alpha,1.0,0.5\n"
+        "beta,1.2,DNF\n"
+        "gmean,1.1,0.5\n")
+    return str(p)
+
+
+class TestReadCsv:
+    def test_parses_categories_and_series(self, sample_csv):
+        data = read_csv(sample_csv)
+        assert data.categories == ["alpha", "beta", "gmean"]
+        assert data.series["DesignA"] == [1.0, 1.2, 1.1]
+        assert data.series["DesignB"] == [0.5, None, 0.5]  # DNF -> gap
+
+    def test_max_rows(self, sample_csv):
+        data = read_csv(sample_csv, max_rows=2)
+        assert data.categories == ["alpha", "beta"]
+
+    def test_rejects_single_column(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("only\n1\n")
+        with pytest.raises(ConfigError):
+            read_csv(str(p))
+
+    def test_all_text_column_dropped(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("app,note,val\nx,hello,2.0\n")
+        data = read_csv(str(p))
+        assert "note" not in data.series
+        assert data.series["val"] == [2.0]
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ChartData("t", [], {}).validate()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            ChartData("t", ["a"], {"s": [1.0, 2.0]}).validate()
+
+    def test_value_range(self):
+        d = ChartData("t", ["a", "b"], {"s": [2.0, None], "r": [0.5, 4.0]})
+        assert d.value_range() == (0.5, 4.0)
+
+
+class TestRender:
+    def test_bar_chart_structure(self, sample_csv):
+        svg = render_bar_chart(read_csv(sample_csv))
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<rect") >= 5  # background + bars
+        assert "DesignA" in svg and "DesignB" in svg
+        assert "stroke-dasharray" in svg  # speedup-1.0 baseline marker
+
+    def test_line_chart_structure(self, sample_csv):
+        svg = render_line_chart(read_csv(sample_csv))
+        assert "<polyline" in svg
+        assert "<circle" in svg
+
+    def test_log_y_requires_positive(self, tmp_path):
+        p = tmp_path / "neg.csv"
+        p.write_text("x,s\na,-1.0\nb,2.0\n")
+        with pytest.raises(ConfigError, match="positive"):
+            render_line_chart(read_csv(str(p)), log_y=True)
+
+    def test_log_y_renders(self, tmp_path):
+        p = tmp_path / "pos.csv"
+        p.write_text("x,s\na,0.1\nb,100.0\n")
+        svg = render_line_chart(read_csv(str(p)), log_y=True)
+        assert "<polyline" in svg
+
+    def test_escaping(self, tmp_path):
+        p = tmp_path / "esc.csv"
+        p.write_text("x,a<b\nf&g,1.0\n")
+        svg = render_bar_chart(read_csv(str(p)))
+        assert "a&lt;b" in svg and "f&amp;g" in svg
+        assert "a<b" not in svg
+
+
+class TestPlotCsv:
+    def test_writes_svg_next_to_csv(self, sample_csv):
+        out = plot_csv(sample_csv)
+        assert out.endswith(".svg")
+        assert open(out).read().startswith("<svg")
+
+    def test_explicit_out_and_kind(self, sample_csv, tmp_path):
+        out = plot_csv(sample_csv, str(tmp_path / "x.svg"), kind="line")
+        assert "polyline" in open(out).read()
+
+    def test_bad_kind(self, sample_csv):
+        with pytest.raises(ConfigError):
+            plot_csv(sample_csv, kind="pie")
+
+
+def test_nice_ticks_cover_range():
+    ticks = _nice_ticks(0.0, 3.7)
+    assert len(ticks) >= 2
+    steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+    assert len(steps) == 1  # uniform spacing
+    step = steps.pop()
+    assert ticks[0] <= 0.0
+    assert ticks[-1] >= 3.7 - step  # last gridline within one step of max
+    assert len(ticks) <= 8

@@ -1,0 +1,118 @@
+"""Property tests: every cache design is a transparent memory.
+
+A random load/store sequence through any design must observe exactly the
+values a plain dict model observes, and after ``finalize`` the NVM image
+must equal the model - regardless of evictions, write-backs, waterline
+cleans, or policies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.nvcache import NVCacheWB
+from repro.caches.nvsram import NVSRAMIdeal
+from repro.caches.params import CacheParams
+from repro.caches.replay import ReplayCache
+from repro.caches.vcache_wt import VCacheWT
+from repro.core.wl_cache import WLCache
+from repro.mem.nvm import NVMainMemory
+from repro.mem.setassoc import CacheGeometry
+
+MEM_WORDS = 1 << 10  # 4 KB address space vs 512 B cache: heavy eviction
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(("load", "store", "store_b")),
+        st.integers(min_value=0, max_value=MEM_WORDS - 1),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ),
+    min_size=1, max_size=250,
+)
+
+DESIGN_MAKERS = {
+    "wt": lambda nvm, geo: VCacheWT(nvm, geo, "lru", CacheParams()),
+    "nv": lambda nvm, geo: NVCacheWB(nvm, geo, "fifo", CacheParams()),
+    "nvsram": lambda nvm, geo: NVSRAMIdeal(nvm, geo, "lru", CacheParams()),
+    "replay": lambda nvm, geo: ReplayCache(nvm, geo, "lru", CacheParams(),
+                                           region_stores=5),
+    "wl_fifo": lambda nvm, geo: WLCache(nvm, geo, "lru", CacheParams(),
+                                        maxline=3, dq_policy="fifo"),
+    "wl_lru": lambda nvm, geo: WLCache(nvm, geo, "fifo", CacheParams(),
+                                       maxline=5, waterline=2,
+                                       dq_policy="lru"),
+}
+
+
+@settings(max_examples=40, deadline=None)
+@given(seq=ops, which=st.sampled_from(sorted(DESIGN_MAKERS)))
+def test_design_is_transparent_memory(seq, which):
+    nvm = NVMainMemory([0] * MEM_WORDS)
+    design = DESIGN_MAKERS[which](nvm, CacheGeometry(512, 2, 64))
+    model = {}
+    t = 0
+    for op, widx, val in seq:
+        addr = widx * 4
+        if op == "load":
+            got, _ = design.load(addr, t)
+            assert got == model.get(widx, 0)
+        elif op == "store":
+            design.store(addr, val, t)
+            model[widx] = val
+        else:
+            sh = (val & 3) * 8
+            design.store_masked(addr, (val & 0xFF) << sh, 0xFF << sh, t)
+            model[widx] = (model.get(widx, 0) & ~(0xFF << sh)
+                           | ((val & 0xFF) << sh))
+        t += 37
+    design.finalize(t)
+    for widx, val in model.items():
+        assert nvm.words[widx] == val
+
+
+@settings(max_examples=30, deadline=None)
+@given(seq=ops, when=st.integers(min_value=0, max_value=249))
+def test_wl_checkpoint_recovery_equivalence(seq, when):
+    """Crash at an arbitrary point: flush + reboot must lose nothing."""
+    nvm = NVMainMemory([0] * MEM_WORDS)
+    wl = WLCache(nvm, CacheGeometry(512, 2, 64), "lru", CacheParams(),
+                 maxline=4)
+    model = {}
+    t = 0
+    for i, (op, widx, val) in enumerate(seq):
+        addr = widx * 4
+        if i == when % max(1, len(seq)):
+            # power failure: JIT checkpoint, volatile loss, cold reboot
+            wl.flush_for_checkpoint(t)
+            wl.on_power_loss()
+            wl.on_boot(first=False)
+            # after the checkpoint, NVM alone must hold the model
+            for w, v in model.items():
+                assert nvm.words[w] == v
+        if op == "load":
+            got, _ = wl.load(addr, t)
+            assert got == model.get(widx, 0)
+        else:
+            wl.store(addr, val, t)
+            model[widx] = val
+        t += 53
+    wl.finalize(t)
+    for widx, val in model.items():
+        assert nvm.words[widx] == val
+
+
+@settings(max_examples=30, deadline=None)
+@given(seq=ops)
+def test_wl_dirty_bound_invariant(seq):
+    """The number of dirty lines never exceeds maxline (§3.1)."""
+    nvm = NVMainMemory([0] * MEM_WORDS)
+    wl = WLCache(nvm, CacheGeometry(512, 2, 64), "fifo", CacheParams(),
+                 maxline=3)
+    t = 0
+    for op, widx, val in seq:
+        if op == "load":
+            wl.load(widx * 4, t)
+        else:
+            wl.store(widx * 4, val, t)
+        assert wl.dirty_count <= 3
+        assert wl.dq.occupancy <= 3
+        t += 41

@@ -1,0 +1,84 @@
+"""System-level property: crash consistency holds for every design under
+randomized harvesting conditions.
+
+Hypothesis drives trace seeds, designs, and WL-Cache thresholds; whatever
+outage pattern results, the final NVM image and registers must equal the
+failure-free oracle.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.energy.synthetic import RFTrace
+from repro.isa.builder import ProgramBuilder
+from repro.sim.factory import build_system
+from repro.verify.checker import check_crash_consistency
+
+DESIGN_NAMES = ("VCache-WT", "NVCache-WB", "NVSRAM(ideal)", "ReplayCache",
+                "WL-Cache", "WL-Cache(eager)", "WT+Buffer",
+                "NVSRAM(practical)")
+
+
+def mixed_program(n: int = 900):
+    """A store/load/branch mix with verifiable output (prefix xor-sums)."""
+    b = ProgramBuilder("mixed")
+    src = b.data_words([(i * 2654435761) & 0xFFFFFFFF for i in range(64)],
+                       "src")
+    out = b.space_words(n, "out")
+    i, acc, t, p = b.regs("i", "acc", "t", "p")
+    b.li(acc, 0)
+    b.li(p, out)
+    with b.for_range(i, 0, n):
+        b.andi(t, i, 63)
+        b.slli(t, t, 2)
+        b.addi(t, t, src)
+        b.lw(t, t, 0)
+        b.xor(acc, acc, t)
+        b.add(acc, acc, i)
+        b.sw(acc, p, 0)
+        b.addi(p, p, 4)
+    b.halt()
+    return b.build()
+
+
+_PROGRAM = mixed_program()
+
+
+def volatile_trace(seed: int) -> RFTrace:
+    """A hostile RF source: frequent deep clustered fades."""
+    return RFTrace("prop", seed, mean_w=0.62, sigma_w=0.12,
+                   fade_prob=0.5, fade_depth=0.12, seg_us=(2.0, 6.0))
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), design=st.sampled_from(DESIGN_NAMES))
+def test_any_design_any_trace_is_consistent(seed, design):
+    system = build_system(_PROGRAM, design, trace=volatile_trace(seed),
+                          adaptive=False)
+    result = system.run()
+    check_crash_consistency(_PROGRAM, result)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000),
+       maxline=st.integers(1, 8),
+       dq_policy=st.sampled_from(("fifo", "lru")),
+       repl=st.sampled_from(("lru", "fifo")),
+       adaptive=st.booleans(),
+       dynamic=st.booleans())
+def test_wl_cache_consistent_across_configs(seed, maxline, dq_policy, repl,
+                                            adaptive, dynamic):
+    system = build_system(_PROGRAM, "WL-Cache", trace=volatile_trace(seed),
+                          maxline=maxline, dq_policy=dq_policy,
+                          cache_replacement=repl, adaptive=adaptive,
+                          dynamic=dynamic)
+    result = system.run()
+    assert result.outages >= 0
+    check_crash_consistency(_PROGRAM, result)
+    # the dirty bound: maxline as configured/adapted; dynamic raises may
+    # legally grow it up to the physical DirtyQueue capacity
+    bound = 8 if dynamic else max(maxline, result.maxline_max)
+    for p in result.periods:
+        assert p.dirty_highwater <= bound

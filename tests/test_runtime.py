@@ -1,0 +1,64 @@
+"""NVFF checkpoint storage and the watchdog timer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.nvff import NVFFStore
+from repro.runtime.watchdog import WatchdogTimer
+
+
+class TestNVFF:
+    def test_checkpoint_restore_roundtrip(self):
+        nvff = NVFFStore()
+        regs = list(range(32))
+        nvff.checkpoint(regs, pc=17, maxline=4, waterline=3,
+                        on_times=[100, 200, 300])
+        got_regs, got_pc = nvff.restore()
+        assert got_regs == regs and got_pc == 17
+        assert nvff.maxline == 4 and nvff.waterline == 3
+        assert nvff.on_times == [200, 300]  # only the last two (§5.5)
+
+    def test_checkpoint_copies(self):
+        nvff = NVFFStore()
+        regs = [0] * 32
+        nvff.checkpoint(regs, 0, 1, 0, [])
+        regs[5] = 99
+        assert nvff.regs[5] == 0
+
+    def test_restore_empty_raises(self):
+        with pytest.raises(ValueError):
+            NVFFStore().restore()
+
+
+class TestWatchdog:
+    def test_measures_intervals(self):
+        wd = WatchdogTimer()
+        wd.start(100)
+        assert wd.stop(600) == 500
+        wd.start(1000)
+        wd.stop(1700)
+        assert wd.intervals == [500, 700]
+        assert wd.last_two == [500, 700]
+
+    def test_last_two_window(self):
+        wd = WatchdogTimer()
+        for i, (a, b) in enumerate(((0, 10), (20, 50), (60, 100))):
+            wd.start(a)
+            wd.stop(b)
+        assert wd.last_two == [30, 40]
+
+    def test_double_start_raises(self):
+        wd = WatchdogTimer()
+        wd.start(0)
+        with pytest.raises(ReproError):
+            wd.start(5)
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(ReproError):
+            WatchdogTimer().stop(5)
+
+    def test_backwards_time_raises(self):
+        wd = WatchdogTimer()
+        wd.start(100)
+        with pytest.raises(ReproError):
+            wd.stop(50)

@@ -1,0 +1,111 @@
+"""Set-associative array: geometry, lookup, replacement policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.setassoc import FIFO, LRU, CacheGeometry, SetAssocArray
+
+
+def addr_for(array, set_idx, tag):
+    """Byte address landing in a given set with a given line tag."""
+    n_sets = array.geometry.n_sets
+    lineno = tag * n_sets + set_idx
+    return lineno << array.line_shift
+
+
+class TestGeometry:
+    def test_defaults_match_table2(self):
+        g = CacheGeometry()
+        assert g.size_bytes == 8192
+        assert g.assoc == 2
+        assert g.line_bytes == 64
+        assert g.n_lines == 128
+        assert g.n_sets == 64
+        assert g.words_per_line == 16
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(line_bytes=48),              # not a power of two
+        dict(assoc=0),
+        dict(size_bytes=1000),            # not multiple of line*assoc
+        dict(size_bytes=384, assoc=1),    # sets not a power of two (6)
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            CacheGeometry(**{**dict(size_bytes=512, assoc=2, line_bytes=64),
+                             **kwargs})
+
+
+class TestArray:
+    def test_find_miss_then_install_hit(self, tiny_geometry):
+        arr = SetAssocArray(tiny_geometry)
+        assert arr.find(0x1000) is None
+        line = arr.install(0x1000, list(range(16)))
+        found = arr.find(0x1000)
+        assert found is line
+        assert found.data[0] == 0
+        assert arr.line_addr(line) == 0x1000
+
+    def test_same_line_different_word(self, tiny_geometry):
+        arr = SetAssocArray(tiny_geometry)
+        arr.install(0x1000, [7] * 16)
+        assert arr.find(0x103C) is not None  # last word of the line
+        assert arr.find(0x1040) is None      # next line
+
+    def test_lru_victim(self, tiny_geometry):
+        arr = SetAssocArray(tiny_geometry, LRU)
+        a = addr_for(arr, 0, 1)
+        b = addr_for(arr, 0, 2)
+        c = addr_for(arr, 0, 3)
+        la = arr.install(a, [0] * 16)
+        lb = arr.install(b, [0] * 16)
+        arr.find(a)  # touch a: b becomes LRU
+        victim = arr.victim(c)
+        assert victim is lb
+
+    def test_fifo_victim_ignores_touches(self, tiny_geometry):
+        arr = SetAssocArray(tiny_geometry, FIFO)
+        a = addr_for(arr, 0, 1)
+        b = addr_for(arr, 0, 2)
+        c = addr_for(arr, 0, 3)
+        la = arr.install(a, [0] * 16)
+        arr.install(b, [0] * 16)
+        arr.find(a)  # FIFO ignores recency
+        assert arr.victim(c) is la
+
+    def test_invalid_line_preferred_as_victim(self, tiny_geometry):
+        arr = SetAssocArray(tiny_geometry)
+        a = addr_for(arr, 1, 1)
+        arr.install(a, [0] * 16)
+        v = arr.victim(addr_for(arr, 1, 2))
+        assert not v.valid
+
+    def test_peek_does_not_touch_lru(self, tiny_geometry):
+        arr = SetAssocArray(tiny_geometry, LRU)
+        a = addr_for(arr, 0, 1)
+        b = addr_for(arr, 0, 2)
+        la = arr.install(a, [0] * 16)
+        arr.install(b, [0] * 16)
+        arr.peek(a)  # must NOT refresh a
+        assert arr.victim(addr_for(arr, 0, 3)) is la
+
+    def test_invalidate_all_and_dirty_lines(self, tiny_geometry):
+        arr = SetAssocArray(tiny_geometry)
+        l1 = arr.install(0x1000, [0] * 16)
+        l2 = arr.install(0x2000, [0] * 16)
+        l1.dirty = True
+        assert arr.dirty_lines() == [l1]
+        assert set(arr.valid_lines()) == {l1, l2}
+        arr.invalidate_all()
+        assert arr.dirty_lines() == []
+        assert arr.find(0x1000) is None
+
+    def test_unknown_policy_rejected(self, tiny_geometry):
+        with pytest.raises(ConfigError):
+            SetAssocArray(tiny_geometry, "random")
+
+    def test_install_copies_data(self, tiny_geometry):
+        arr = SetAssocArray(tiny_geometry)
+        src = [1] * 16
+        line = arr.install(0x1000, src)
+        src[0] = 99
+        assert line.data[0] == 1

@@ -1,0 +1,66 @@
+"""JSON round-tripping of run statistics."""
+
+import json
+
+import pytest
+
+from repro.analysis.stats_io import (load_result, load_results_dir,
+                                     result_from_dict, result_to_dict,
+                                     save_result)
+from repro.errors import ConfigError
+from repro.sim.factory import run_one
+from tests.conftest import build_sum_program
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_one(build_sum_program(2500), "WL-Cache", trace="trace1")
+
+
+def test_dict_has_no_memory_image(result):
+    d = result_to_dict(result)
+    assert "final_memory" not in d
+    assert d["design"] == "WL-Cache"
+    assert d["energy_nj"]["compute"] > 0
+    assert d["derived"]["ipc"] > 0
+
+
+def test_roundtrip_preserves_stats(result, tmp_path):
+    path = save_result(result, str(tmp_path / "run.json"))
+    back = load_result(path)
+    assert back.total_time_ns == result.total_time_ns
+    assert back.outages == result.outages
+    assert back.energy.total_nj == pytest.approx(result.energy.total_nj)
+    assert back.ipc == pytest.approx(result.ipc)
+    assert len(back.periods) == len(result.periods)
+    assert back.avg_dirty_per_period == pytest.approx(
+        result.avg_dirty_per_period)
+
+
+def test_periods_optional(result, tmp_path):
+    path = save_result(result, str(tmp_path / "np.json"),
+                       include_periods=False)
+    back = load_result(path)
+    assert back.periods == []
+
+
+def test_version_check(result):
+    d = result_to_dict(result)
+    d["format_version"] = 99
+    with pytest.raises(ConfigError, match="unsupported"):
+        result_from_dict(d)
+
+
+def test_load_directory(result, tmp_path):
+    save_result(result, str(tmp_path / "a.json"))
+    save_result(result, str(tmp_path / "b.json"))
+    (tmp_path / "notes.txt").write_text("ignore me")
+    loaded = load_results_dir(str(tmp_path))
+    assert len(loaded) == 2
+
+
+def test_json_is_plain_data(result, tmp_path):
+    path = save_result(result, str(tmp_path / "r.json"))
+    data = json.load(open(path))
+    assert isinstance(data["outages"], int)
+    assert isinstance(data["energy_nj"], dict)

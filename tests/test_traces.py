@@ -1,0 +1,138 @@
+"""Power traces: integration, charging, erosion, generation, CSV I/O."""
+
+import pytest
+
+from repro.energy.synthetic import (RFTrace, make_trace, solar, thermal,
+                                    trace1, trace2, trace3)
+from repro.energy.traces import ConstantTrace, PowerTrace, load_csv, save_csv
+from repro.errors import TraceError
+
+
+class TestConstant:
+    def test_power_and_energy(self):
+        tr = ConstantTrace(0.5)
+        assert tr.power_w(0) == 0.5
+        assert tr.power_w(10**9) == 0.5
+        assert tr.energy_nj(0, 1000) == pytest.approx(500.0)  # W * ns = nJ
+
+    def test_time_to_harvest(self):
+        tr = ConstantTrace(0.1)
+        t = tr.time_to_harvest(100, 50.0)
+        assert t == pytest.approx(600, abs=2)
+
+    def test_zero_power_never_harvests(self):
+        tr = ConstantTrace(0.0)
+        with pytest.raises(TraceError, match="dead"):
+            tr.time_to_harvest(0, 1.0, horizon_ns=10**6)
+
+
+class TestSegmented:
+    def make(self):
+        return PowerTrace([0, 100, 200], [0.1, 0.0, 0.2], "seg")
+
+    def test_power_lookup(self):
+        tr = self.make()
+        assert tr.power_w(0) == 0.1
+        assert tr.power_w(99) == 0.1
+        assert tr.power_w(100) == 0.0
+        assert tr.power_w(250) == 0.2
+
+    def test_energy_across_segments(self):
+        tr = self.make()
+        # 50ns@0.1 + 100ns@0 + 50ns@0.2
+        assert tr.energy_nj(50, 250) == pytest.approx(5.0 + 0.0 + 10.0)
+
+    def test_energy_additivity(self):
+        tr = self.make()
+        whole = tr.energy_nj(0, 400)
+        split = tr.energy_nj(0, 170) + tr.energy_nj(170, 400)
+        assert whole == pytest.approx(split)
+
+    def test_time_to_harvest_skips_dead_segment(self):
+        tr = self.make()
+        # needs 3nJ starting at t=90: 1nJ by t=100, then dead until 200,
+        # then 2nJ more at 0.2 W -> 10 ns
+        t = tr.time_to_harvest(90, 3.0)
+        assert t == pytest.approx(210, abs=2)
+
+    def test_charge_until_with_drain(self):
+        tr = self.make()
+        # during the dead segment a 0.05 W drain erodes charge
+        t = tr.charge_until(0, 0.0, 25.0, drain_w=0.05)
+        # segment 1: net 0.05 -> +5nJ by t=100; segment 2: net -0.05 ->
+        # floor at 0 by t=200; segment 3: net 0.15 -> 25nJ at ~167ns more
+        assert t == pytest.approx(200 + 25 / 0.15, abs=3)
+
+    def test_charge_until_already_charged(self):
+        tr = self.make()
+        assert tr.charge_until(50, 10.0, 5.0) == 50
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            PowerTrace([], [])
+        with pytest.raises(TraceError):
+            PowerTrace([5], [0.1])       # must start at 0
+        with pytest.raises(TraceError):
+            PowerTrace([0, 0], [0.1, 0.2])  # non-increasing
+        with pytest.raises(TraceError):
+            PowerTrace([0], [-0.1])
+
+
+class TestGenerated:
+    def test_deterministic_per_seed(self):
+        a, b = trace1(seed=5), trace1(seed=5)
+        assert a.energy_nj(0, 10**7) == pytest.approx(b.energy_nj(0, 10**7))
+        c = trace1(seed=6)
+        assert a.energy_nj(0, 10**7) != pytest.approx(c.energy_nj(0, 10**7))
+
+    def test_lazy_extension(self):
+        tr = trace2()
+        n0 = len(tr.starts)
+        tr.power_w(10**8)
+        assert len(tr.starts) > n0
+
+    def test_charge_until_extends_indefinitely(self):
+        tr = trace3()
+        t = tr.charge_until(0, 0.0, 5000.0, drain_w=0.02)
+        assert t > 0
+
+    def test_all_factories(self):
+        for name in ("trace1", "trace2", "trace3", "solar", "thermal"):
+            tr = make_trace(name)
+            assert tr.energy_nj(0, 10**6) > 0
+        with pytest.raises(KeyError):
+            make_trace("trace9")
+
+    def test_stability_ordering(self):
+        """Coefficient of variation: thermal < solar < tr1 < tr2 < tr3."""
+        import statistics
+
+        def cv(tr, n=400, step=50_000):
+            samples = [tr.power_w(i * step) for i in range(n)]
+            return statistics.pstdev(samples) / statistics.mean(samples)
+
+        cvs = [cv(t()) for t in (thermal, solar, trace1, trace2, trace3)]
+        assert cvs == sorted(cvs)
+
+    def test_mean_power_ordering(self):
+        """Stable sources are also stronger (solar/thermal > RF)."""
+        def mean(tr, n=300):
+            return tr.energy_nj(0, n * 10**5) / (n * 10**5)
+
+        assert mean(solar()) > mean(trace1()) > mean(trace3())
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        tr = PowerTrace([0, 50, 75], [0.1, 0.2, 0.05], "x")
+        path = str(tmp_path / "trace.csv")
+        save_csv(tr, path)
+        back = load_csv(path, "x2")
+        assert back.starts == tr.starts
+        assert back.powers == tr.powers
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope\n0,1\n")
+        with pytest.raises(TraceError):
+            load_csv(str(path))

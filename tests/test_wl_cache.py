@@ -1,0 +1,233 @@
+"""WL-Cache write-policy protocol tests (§3, §5).
+
+These drive the memory system directly (no core) so every protocol step -
+waterline cleaning, maxline stalls, the clean-first ordering, duplicate and
+stale DirtyQueue entries, JIT checkpoint flushes - is observable.
+"""
+
+import pytest
+
+from repro.caches.params import CacheParams
+from repro.core.wl_cache import WLCache
+from repro.errors import ConfigError
+from repro.mem.nvm import NVMainMemory
+from repro.mem.setassoc import CacheGeometry
+
+
+def make_wl(maxline=3, waterline=None, dq_policy="fifo", assoc=2,
+            size=512, replacement="lru"):
+    nvm = NVMainMemory([0] * (1 << 14))
+    geo = CacheGeometry(size, assoc, 64)
+    wl = WLCache(nvm, geo, replacement, CacheParams(),
+                 dq_capacity=8, maxline=maxline, waterline=waterline,
+                 dq_policy=dq_policy)
+    return wl, nvm
+
+
+def line_addr(i):
+    return 0x400 + i * 64  # distinct lines
+
+
+class TestThresholds:
+    def test_default_waterline(self):
+        wl, _ = make_wl(maxline=5)
+        assert wl.waterline == 4
+
+    def test_set_thresholds_validation(self):
+        wl, _ = make_wl()
+        with pytest.raises(ConfigError):
+            wl.set_thresholds(9)       # > capacity
+        with pytest.raises(ConfigError):
+            wl.set_thresholds(0)
+        with pytest.raises(ConfigError):
+            wl.set_thresholds(4, 5)    # waterline > maxline
+        wl.set_thresholds(4)
+        assert (wl.maxline, wl.waterline) == (4, 3)
+
+    def test_reserve_lines_tracks_maxline(self):
+        wl, _ = make_wl(maxline=3)
+        assert wl.reserve_lines() == 3
+        wl.set_thresholds(5)
+        assert wl.reserve_lines() == 5
+
+
+class TestWritePolicy:
+    def test_store_hits_do_not_touch_nvm(self):
+        wl, nvm = make_wl(maxline=4)
+        wl.store(line_addr(0), 1, now=0)
+        writes_after_first = nvm.writes
+        t = 1000
+        for _ in range(10):  # same-line stores coalesce (write hits)
+            wl.store(line_addr(0), 2, now=t)
+            t += 10
+        assert nvm.writes == writes_after_first
+        assert wl.stats.write_hits == 10
+
+    def test_waterline_triggers_async_writeback(self):
+        wl, _ = make_wl(maxline=3, waterline=1)
+        wl.store(line_addr(0), 11, now=0)
+        assert wl.stats.async_writebacks == 0  # occupancy 1 == waterline
+        wl.store(line_addr(1), 22, now=10)     # occupancy 2 > waterline
+        assert wl.stats.async_writebacks == 1
+        assert len(wl.pending) == 1
+
+    def test_clean_first_line_marked_clean_at_issue(self):
+        wl, _ = make_wl(maxline=3, waterline=1)
+        wl.store(line_addr(0), 11, now=0)
+        wl.store(line_addr(1), 22, now=10)
+        line0 = wl.array.peek(line_addr(0))
+        assert not line0.dirty          # §5.3 step 1
+        assert wl.dq.occupancy == 2     # entry retained until ACK (step 4)
+
+    def test_ack_applies_data_and_frees_entry(self):
+        wl, nvm = make_wl(maxline=3, waterline=1)
+        wl.store(line_addr(0), 11, now=0)
+        wl.store(line_addr(1), 22, now=10)
+        ack = wl.pending[0].ack
+        assert nvm.words[line_addr(0) >> 2] == 0  # not yet persisted
+        wl.store(line_addr(1), 23, now=ack + 1)   # any access retires ACKs
+        assert nvm.words[line_addr(0) >> 2] == 11
+        assert wl.dq.occupancy == 1
+
+    def test_store_to_inflight_line_reinserts(self):
+        """The §5.3 WX=1 / WX=2 walkthrough must NOT lose the second store."""
+        wl, nvm = make_wl(maxline=4, waterline=1)
+        wl.store(line_addr(0), 1, now=0)    # WX=1
+        wl.store(line_addr(1), 9, now=5)    # triggers clean of line 0
+        assert wl.pending and not wl.array.peek(line_addr(0)).dirty
+        wl.store(line_addr(0), 2, now=6)    # WX=2 while in flight
+        # clean->dirty transition: a (duplicate) entry must be added
+        assert wl.dq.duplicate_inserts == 1
+        assert wl.array.peek(line_addr(0)).dirty
+        # crash now: checkpoint must persist X=2
+        wl.flush_for_checkpoint(now=7)
+        assert nvm.words[line_addr(0) >> 2] == 2
+
+    def test_maxline_stall_waits_for_ack(self):
+        wl, _ = make_wl(maxline=2, waterline=1)
+        wl.store(line_addr(0), 1, now=0)
+        wl.store(line_addr(1), 2, now=1)    # occupancy 2, WB of line0 issued
+        ack = wl.pending[0].ack
+        cycles = wl.store(line_addr(2), 3, now=2)
+        # the store had to wait for the in-flight ACK to free a slot
+        assert wl.stats.store_stall_cycles > 0
+        assert cycles >= ack - 2
+        assert wl.dq.occupancy <= wl.maxline
+
+    def test_sync_clean_when_nothing_in_flight(self):
+        wl, nvm = make_wl(maxline=2, waterline=2)  # waterline==maxline:
+        wl.store(line_addr(0), 1, now=0)           # no async cleaning
+        wl.store(line_addr(1), 2, now=1)
+        assert not wl.pending
+        wl.store(line_addr(2), 3, now=2)           # must clean synchronously
+        assert wl.sync_cleans == 1
+        assert nvm.words[line_addr(0) >> 2] == 1
+
+    def test_dirty_count_never_exceeds_maxline(self):
+        wl, _ = make_wl(maxline=3)
+        t = 0
+        for i in range(20):
+            wl.store(line_addr(i % 6), i, now=t)
+            assert wl.dirty_count <= wl.maxline
+            assert wl.dq.occupancy <= wl.maxline
+            t += 7
+
+
+class TestEvictionInteraction:
+    def test_dirty_eviction_leaves_stale_entry(self):
+        """§5.4: eviction does not search the queue; the entry goes stale."""
+        wl, nvm = make_wl(maxline=6, waterline=6, assoc=1, size=128)
+        # direct-mapped 2-line cache: 0x400 and 0x480 map to set 0 and 1
+        a = 0x400
+        conflict = a + 128  # same set, different tag
+        wl.store(a, 5, now=0)
+        assert wl.dq.occupancy == 1
+        wl.load(conflict, now=10)  # evicts the dirty line
+        assert nvm.words[a >> 2] == 5          # eviction wrote it back
+        assert wl.dq.occupancy == 1            # stale entry still there
+        report = wl.flush_for_checkpoint(now=20)
+        assert report.lines_flushed == 0       # stale: safely ignored
+
+    def test_refill_observes_inflight_writeback(self):
+        """A line re-fetched while its write-back is in flight must see the
+        new data (NVM same-address ordering)."""
+        wl, nvm = make_wl(maxline=4, waterline=1, assoc=1, size=128)
+        a = 0x400
+        conflict = a + 128
+        wl.store(a, 77, now=0)
+        wl.store(conflict, 1, now=1)  # waterline clean of `a` in flight
+        assert wl.pending
+        # evict `a` (clean) by loading conflict... already loaded; now
+        # reload `a` before the ACK time arrives:
+        val, _ = wl.load(a, now=2)
+        assert val == 77
+
+
+class TestCheckpoint:
+    def test_flush_persists_all_dirty_lines(self):
+        wl, nvm = make_wl(maxline=4, waterline=4)
+        for i in range(3):
+            wl.store(line_addr(i), 100 + i, now=i)
+        report = wl.flush_for_checkpoint(now=10)
+        assert report.lines_flushed == 3
+        for i in range(3):
+            assert nvm.words[line_addr(i) >> 2] == 100 + i
+        assert wl.dq.occupancy == 0
+        assert wl.dirty_count == 0
+
+    def test_flush_covers_inflight_writebacks(self):
+        wl, nvm = make_wl(maxline=3, waterline=1)
+        wl.store(line_addr(0), 1, now=0)
+        wl.store(line_addr(1), 2, now=1)
+        assert wl.pending  # line 0 in flight, NVM not yet updated
+        wl.flush_for_checkpoint(now=2)
+        assert nvm.words[line_addr(0) >> 2] == 1
+        assert nvm.words[line_addr(1) >> 2] == 2
+        assert not wl.pending
+
+    def test_power_loss_clears_volatile_state(self):
+        wl, _ = make_wl()
+        wl.store(line_addr(0), 1, now=0)
+        wl.flush_for_checkpoint(now=1)
+        wl.on_power_loss()
+        assert wl.array.find(line_addr(0)) is None
+        assert wl.dq.occupancy == 0
+
+    def test_finalize_drains_everything(self):
+        wl, nvm = make_wl(maxline=4, waterline=1)
+        wl.store(line_addr(0), 1, now=0)
+        wl.store(line_addr(1), 2, now=1)
+        wl.store(line_addr(2), 3, now=2)
+        wl.finalize(now=3)
+        for i, v in enumerate((1, 2, 3)):
+            assert nvm.words[line_addr(i) >> 2] == v
+
+
+class TestDQPolicies:
+    def test_fifo_cleans_oldest(self):
+        wl, nvm = make_wl(maxline=4, waterline=1, dq_policy="fifo")
+        wl.store(line_addr(0), 10, now=0)
+        wl.store(line_addr(1), 11, now=1)
+        assert wl.pending[0].lineno == line_addr(0) >> 6
+
+    def test_lru_cleans_least_recently_used(self):
+        wl, _ = make_wl(maxline=4, waterline=2, dq_policy="lru")
+        wl.store(line_addr(0), 10, now=0)
+        wl.store(line_addr(1), 11, now=1)
+        wl.load(line_addr(0), now=2)  # touch line 0
+        wl.store(line_addr(2), 12, now=3)  # occupancy 3 > waterline
+        assert wl.pending[0].lineno == line_addr(1) >> 6
+
+    def test_lru_policy_costs_extra_energy(self):
+        wl_fifo, _ = make_wl(maxline=4, waterline=1, dq_policy="fifo")
+        wl_lru, _ = make_wl(maxline=4, waterline=1, dq_policy="lru")
+        for wl in (wl_fifo, wl_lru):
+            wl.store(line_addr(0), 1, now=0)
+            wl.store(line_addr(1), 2, now=1)
+        assert (wl_lru.stats.cache_write_energy_nj
+                > wl_fifo.stats.cache_write_energy_nj)
+
+
+def test_leakage_includes_dq():
+    wl, _ = make_wl()
+    assert wl.leakage_w() > wl.params.leakage_w

@@ -1,0 +1,101 @@
+"""Workload suite: registry, builds, algorithmic correctness of all 23."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.verify.oracle import run_oracle
+from repro.workloads import (ALL_WORKLOADS, MEDIABENCH, MIBENCH,
+                             build_workload, get_workload, verify_checks)
+
+SMALL = 0.15
+
+
+def test_registry_counts_match_paper():
+    assert len(ALL_WORKLOADS) == 23
+    assert len(MEDIABENCH) == 15
+    assert len(MIBENCH) == 8
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        get_workload("doom")
+
+
+def test_build_cached_per_scale():
+    w = get_workload("sha")
+    assert w.build(SMALL) is w.build(SMALL)
+    assert w.build(SMALL) is not w.build(0.3)
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_workload_correct_on_oracle(name):
+    """Every kernel's output matches its host reference implementation."""
+    prog = build_workload(name, SMALL)
+    assert prog.meta["workload"] == name
+    assert prog.meta["suite"] in ("mediabench", "mibench")
+    assert prog.meta["checks"], "workload must embed result checks"
+    oracle = run_oracle(prog)
+    verify_checks(prog, oracle.memory)
+
+
+@pytest.mark.parametrize("name", ["sha", "rijndael_e", "fft", "adpcmencode"])
+def test_scale_changes_work_size(name):
+    small = build_workload(name, SMALL)
+    big = build_workload(name, 1.0)
+    n_small = run_oracle(small).instructions
+    n_big = run_oracle(big).instructions
+    assert n_big > 2 * n_small
+
+
+def test_verify_checks_rejects_corruption():
+    prog = build_workload("sha", SMALL)
+    oracle = run_oracle(prog)
+    addr, expected = prog.meta["checks"][0]
+    oracle.memory[addr >> 2] ^= 1
+    with pytest.raises(ConsistencyError):
+        verify_checks(prog, oracle.memory)
+
+
+def test_verify_checks_refuses_empty():
+    from repro.isa.builder import ProgramBuilder
+    b = ProgramBuilder("empty")
+    b.halt()
+    with pytest.raises(ConsistencyError, match="vacuous"):
+        verify_checks(b.build(), [0] * 16)
+
+
+def test_fft_roundtrip_metadata():
+    prog = build_workload("fft_i", SMALL)
+    assert "roundtrip_tolerance" in prog.meta
+
+
+def test_sbox_known_values():
+    from repro.workloads.mibench.rijndael import INV_SBOX, SBOX
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert INV_SBOX[0x63] == 0x00
+    assert all(INV_SBOX[SBOX[i]] == i for i in range(256))
+
+
+def test_adpcm_decode_inverts_encode_approximately():
+    from repro.workloads.mediabench.adpcm import (_signal, decode_host,
+                                                  encode_host)
+    sig = _signal(500)
+    codes, _, _ = encode_host(sig)
+    recon = decode_host(codes)
+    err = sum(abs(a - b) for a, b in zip(sig, recon)) / len(sig)
+    assert err < 600  # 4-bit ADPCM tracks the waveform
+
+
+def test_gsm_ltp_finds_periodicity():
+    """A strongly periodic signal should yield consistent lags."""
+    from repro.workloads.mediabench.gsm import _LAG_MAX, encode_host
+    import math
+    period = 64
+    sig = [int(8000 * math.sin(2 * math.pi * i / period))
+           for i in range(_LAG_MAX + 3 * 40)]
+    lags = [lag for lag, _ in encode_host(sig, 3)]
+    for lag in lags:
+        off = lag % period
+        assert min(off, period - off) <= 2
