@@ -12,16 +12,19 @@ Environment knobs:
 * ``REPRO_BENCH_APPS`` - comma-separated subset of workloads (default: the
   full 23-app suite for the per-app figures; the sensitivity figures use
   ``SENSITIVITY_APPS`` to stay laptop-friendly, as EXPERIMENTS.md records).
+* ``REPRO_JOBS`` - worker processes for the sweep grids (default: serial).
+  Parallel results are bit-identical to serial ones, so any figure can be
+  regenerated with ``REPRO_JOBS=$(nproc)``.
 """
 
 from __future__ import annotations
 
 import os
 
-from repro.analysis.speedup import gmean, suite_gmeans
+from repro.analysis.speedup import gmean
 from repro.analysis.tables import print_figure
-from repro.sim.config import BASELINE_DESIGN, DESIGNS, SimConfig
-from repro.sim.sweep import bench_scale, run_grid, speedups_vs_baseline
+from repro.sim.config import DESIGNS, SimConfig
+from repro.sim.sweep import run_grid, speedups_vs_baseline
 from repro.workloads import ALL_WORKLOADS, MEDIABENCH, MIBENCH
 
 #: representative subset used by the averaged sensitivity figures
@@ -40,13 +43,15 @@ def bench_apps(default=ALL_WORKLOADS) -> tuple[str, ...]:
 
 def speedup_figure(trace: str | None, title: str, csv_name: str,
                    apps=None, config: SimConfig | None = None,
-                   designs=DESIGNS, **overrides):
+                   designs=DESIGNS, jobs=None, **overrides):
     """Run a per-app speedup figure (Figs. 4/5/6 pattern).
 
     Returns ``{design: {app: speedup}}`` plus prints/persists the table.
+    The grid fans out over ``jobs`` worker processes (default: the
+    ``REPRO_JOBS`` env var, else serial) with bit-identical results.
     """
     apps = bench_apps() if apps is None else apps
-    results = run_grid(apps, designs, trace, config, **overrides)
+    results = run_grid(apps, designs, trace, config, jobs=jobs, **overrides)
     sp = speedups_vs_baseline(results)
     per_design = {d: {a: sp[(a, d)] for a in apps} for d in designs}
 

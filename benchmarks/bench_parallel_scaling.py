@@ -1,0 +1,68 @@
+"""Parallel sweep scaling: wall-clock of the same grid at 1/2/4 workers.
+
+Demonstrates the two properties the parallel engine promises: the
+multi-worker sweep returns *bit-identical* results (asserted on every
+machine), and it scales near-linearly with cores - on a >=4-core host the
+4-worker sweep must beat serial by at least 2x. Single-core CI shards
+still run the bench (correctness + CSV) but skip the speedup assertion,
+which process-spawn overhead would make meaningless there.
+
+Run directly (``python benchmarks/bench_parallel_scaling.py``) or through
+pytest like the figure benches.
+"""
+
+import os
+import time
+
+from bench_common import print_figure
+from repro.sim.sweep import run_grid
+
+APPS = ("sha", "qsort", "dijkstra", "fft", "adpcmencode", "jpegdecode")
+DESIGNS = ("NVSRAM(ideal)", "VCache-WT", "WL-Cache")
+JOB_COUNTS = (1, 2, 4)
+
+
+def _timed_grid(jobs):
+    t0 = time.perf_counter()
+    results = run_grid(APPS, DESIGNS, "trace1", jobs=jobs)
+    return results, time.perf_counter() - t0
+
+
+def run_scaling():
+    times = {}
+    reference = None
+    for jobs in JOB_COUNTS:
+        results, dt = _timed_grid(jobs)
+        times[jobs] = dt
+        if reference is None:
+            reference = results
+        else:
+            assert results == reference, (
+                f"jobs={jobs} sweep diverged from the serial results")
+    rows = [[f"jobs={j}", f"{times[j]:.2f}", times[1] / times[j]]
+            for j in JOB_COUNTS]
+    print_figure(
+        f"Parallel sweep scaling ({len(APPS)} apps x {len(DESIGNS)} designs, "
+        f"{os.cpu_count()} cores)",
+        ["workers", "seconds", "speedup"], rows, "bench_parallel_scaling")
+    return times
+
+
+def check_shape(times):
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        speedup4 = times[1] / times[4]
+        assert speedup4 >= 2.0, (
+            f"4-worker sweep only {speedup4:.2f}x over serial on a "
+            f"{cores}-core host (need >=2x)")
+    else:
+        print(f"[{cores} core(s): speedup assertion skipped]")
+
+
+def test_parallel_scaling(benchmark):
+    times = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    check_shape(times)
+
+
+if __name__ == "__main__":
+    check_shape(run_scaling())

@@ -9,7 +9,7 @@ DirtyQueue.
 """
 
 from bench_common import print_figure
-from repro.analysis.hwcost import dirty_queue_cost, hardware_cost_report
+from repro.analysis.hwcost import hardware_cost_report
 from repro.analysis.speedup import gmean
 from repro.sim.config import SimConfig
 from repro.sim.factory import build_system

@@ -45,6 +45,10 @@ class CachedMemorySystem:
         self._wpl = geometry.words_per_line
         self._line_mask = ~(geometry.line_bytes - 1)
         self._word_mask = geometry.words_per_line - 1
+        # hot-path bindings: one attribute hop instead of two per access
+        self._find = self.array.find
+        self._hit_read_cycles = p.hit_read_cycles
+        self._hit_write_cycles = p.hit_write_cycles
 
     # ------------------------------------------------------------------
     # fill/evict plumbing
@@ -77,17 +81,18 @@ class CachedMemorySystem:
     # protocol: loads are shared by every design
     # ------------------------------------------------------------------
     def load(self, addr: int, now: int) -> tuple[int, int]:
-        self.stats.loads += 1
-        self.stats.cache_read_energy_nj += self._e_read
-        line = self.array.find(addr)
+        stats = self.stats
+        stats.loads += 1
+        stats.cache_read_energy_nj += self._e_read
+        line = self._find(addr)
         if line is not None:
-            self.stats.read_hits += 1
+            stats.read_hits += 1
             return (line.data[(addr >> 2) & self._word_mask],
-                    self.params.hit_read_cycles)
-        self.stats.read_misses += 1
+                    self._hit_read_cycles)
+        stats.read_misses += 1
         line, cycles = self._fill(addr, now)
         return (line.data[(addr >> 2) & self._word_mask],
-                cycles + self.params.hit_read_cycles)
+                cycles + self._hit_read_cycles)
 
     # stores are design-specific ----------------------------------------
     def store(self, addr: int, value: int, now: int) -> int:

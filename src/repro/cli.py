@@ -26,12 +26,10 @@ from repro.analysis.speedup import speedup
 from repro.analysis.tables import format_table
 from repro.energy.synthetic import TRACE_FACTORIES
 from repro.sim.config import BASELINE_DESIGN, DESIGNS
+from repro.sim.factory import ALL_DESIGN_NAMES as ALL_DESIGNS
 from repro.sim.factory import build_system
 from repro.verify.checker import check_crash_consistency
 from repro.workloads import ALL_WORKLOADS, build_workload
-
-ALL_DESIGNS = DESIGNS + ("NoCache", "NVSRAM(full)", "NVSRAM(practical)",
-                         "WT+Buffer", "WL-Cache(eager)")
 
 
 def _add_sim_args(p: argparse.ArgumentParser) -> None:
@@ -119,6 +117,45 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.sim.sweep import run_grid, speedups_vs_baseline
+
+    apps = args.apps or list(ALL_WORKLOADS)
+    progress = None
+    if not args.quiet:
+        def progress(done, total, key):
+            print(f"\r[{done}/{total}] {key[0]} / {key[1]}        ",
+                  end="", flush=True)
+    results = run_grid(apps, args.designs, args.trace, scale=args.scale,
+                       verify=not args.no_verify, jobs=args.jobs,
+                       progress=progress, **_overrides(args))
+    if progress is not None:
+        print()
+    rows = []
+    have_base = any(d == BASELINE_DESIGN for d in args.designs)
+    sp = speedups_vs_baseline(results) if have_base else None
+    for (wname, design), res in results.items():
+        row = [wname, design, f"{res.total_time_ns / 1e3:.1f}", res.outages]
+        if sp is not None:
+            row.append(f"{sp[(wname, design)]:.3f}")
+        rows.append(row)
+    headers = ["app", "design", "time us", "outages"]
+    if sp is not None:
+        headers.append("speedup")
+    cond = args.trace or "no failure"
+    print(f"sweep under {cond}:")
+    print(format_table(headers, rows))
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(headers)
+            w.writerows(rows)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def cmd_plot(args) -> int:
     import os
 
@@ -157,6 +194,23 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=ALL_DESIGNS)
     _add_sim_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a workload x design grid (parallelizable)")
+    p_sweep.add_argument("--apps", nargs="+", default=None,
+                         choices=ALL_WORKLOADS,
+                         help="workload subset (default: all 23)")
+    p_sweep.add_argument("--designs", nargs="+", default=list(DESIGNS),
+                         choices=ALL_DESIGNS)
+    p_sweep.add_argument("--jobs", "-j", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS env, "
+                              "else serial)")
+    p_sweep.add_argument("--csv", default=None, metavar="PATH",
+                         help="write the result table as CSV")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress the progress line")
+    _add_sim_args(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_plot = sub.add_parser("plot", help="render a bench CSV to SVG")
     p_plot.add_argument("csv", help="a bench CSV, or a results directory to render everything")

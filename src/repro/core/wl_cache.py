@@ -191,33 +191,36 @@ class WLCache(CachedMemorySystem):
         return self.store_masked(addr, value, _FULL, now)
 
     def store_masked(self, addr: int, bits: int, mask: int, now: int) -> int:
-        self.stats.stores += 1
-        self.stats.cache_write_energy_nj += self._e_write
-        self._retire_acks(now)
+        stats = self.stats
+        stats.stores += 1
+        stats.cache_write_energy_nj += self._e_write
+        if self.pending:
+            self._retire_acks(now)
         cycles = 0
-        line = self.array.find(addr)
+        line = self._find(addr)
         if line is None:
-            self.stats.write_misses += 1
+            stats.write_misses += 1
             line, cycles = self._fill(addr, now)
         else:
-            self.stats.write_hits += 1
+            stats.write_hits += 1
         widx = (addr >> 2) & self._word_mask
+        data = line.data
         if line.dirty:
             # same-dirty-line store: no DirtyQueue interaction (§5.1)
-            line.data[widx] = self._merged(line.data[widx], bits, mask)
-            return cycles + self.params.hit_write_cycles
+            data[widx] = (data[widx] & ~mask) | (bits & mask)
+            return cycles + self._hit_write_cycles
         # clean -> dirty transition: needs a DirtyQueue slot
         cycles += self._ensure_slot(now + cycles)
-        line.data[widx] = self._merged(line.data[widx], bits, mask)
+        data[widx] = (data[widx] & ~mask) | (bits & mask)
         line.dirty = True
         self.dq.insert(line.tag)
-        self.stats.cache_write_energy_nj += self.dq_access_energy_nj
+        stats.cache_write_energy_nj += self.dq_access_energy_nj
         occ = self.dq.occupancy
         if occ > self.dirty_highwater:
             self.dirty_highwater = occ
         if occ > self.waterline:
             self._issue_writeback(now + cycles)
-        return cycles + self.params.hit_write_cycles
+        return cycles + self._hit_write_cycles
 
     # ------------------------------------------------------------------
     # persistence protocol (§3.2)

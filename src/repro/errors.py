@@ -43,3 +43,17 @@ class ConsistencyError(ReproError):
 
 class TraceError(ReproError):
     """Raised for malformed or exhausted power traces."""
+
+
+class SweepError(ReproError):
+    """Raised when a sweep cannot complete.
+
+    Carries the failing ``(workload, design, trace)`` tuples in
+    :attr:`failures` so a crashed parallel worker is reported as the run
+    that died, not as an opaque pool error.
+    """
+
+    def __init__(self, message: str,
+                 failures: tuple[tuple[str, str, str | None], ...] = ()):
+        super().__init__(message)
+        self.failures = failures

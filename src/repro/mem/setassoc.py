@@ -63,7 +63,12 @@ class CacheGeometry:
 
 
 class CacheLine:
-    """One cache line with data payload and replacement metadata."""
+    """One cache line with data payload and replacement metadata.
+
+    Invariant: an invalid line always carries ``tag == -1`` (enforced by
+    ``__init__``/``invalidate``), so tag comparison alone decides a hit -
+    the hot lookup paths rely on this and skip the ``valid`` check.
+    """
 
     __slots__ = ("tag", "valid", "dirty", "data", "use_stamp", "fill_stamp")
 
@@ -99,18 +104,18 @@ class SetAssocArray:
             for _ in range(geometry.n_sets)
         ]
         self._stamp = 0
-        # hoisted geometry for the hot path
+        # hoisted geometry/policy for the hot path
         self.line_shift = geometry.line_shift
         self.set_mask = geometry.set_mask
         self.words_per_line = wpl
+        self._lru = replacement == LRU
 
     def find(self, addr: int) -> CacheLine | None:
         """Return the valid line holding ``addr``, updating LRU stamps."""
         lineno = addr >> self.line_shift
-        cset = self.sets[lineno & self.set_mask]
-        for line in cset:
-            if line.valid and line.tag == lineno:
-                if self.replacement == LRU:
+        for line in self.sets[lineno & self.set_mask]:
+            if line.tag == lineno:  # invalid lines hold tag -1: never hits
+                if self._lru:
                     self._stamp += 1
                     line.use_stamp = self._stamp
                 return line
@@ -119,9 +124,8 @@ class SetAssocArray:
     def peek(self, addr: int) -> CacheLine | None:
         """Like :meth:`find` but with no replacement-state side effects."""
         lineno = addr >> self.line_shift
-        cset = self.sets[lineno & self.set_mask]
-        for line in cset:
-            if line.valid and line.tag == lineno:
+        for line in self.sets[lineno & self.set_mask]:
+            if line.tag == lineno:
                 return line
         return None
 
@@ -130,7 +134,7 @@ class SetAssocArray:
         cset = self.sets[(addr >> self.line_shift) & self.set_mask]
         best = None
         best_key = 0
-        lru = self.replacement == LRU
+        lru = self._lru
         for line in cset:
             if not line.valid:
                 return line

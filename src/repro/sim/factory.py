@@ -21,6 +21,24 @@ from repro.mem.nvm import NVMainMemory
 from repro.sim.config import DESIGNS, SimConfig
 from repro.sim.system import System
 
+#: Every design name :func:`build_design` accepts: the paper's five plus
+#: the extension designs (§2.3.3 variants, §3.3 strawman, §5.4 ablation).
+ALL_DESIGN_NAMES = DESIGNS + (
+    "NoCache",
+    "NVSRAM(full)",
+    "NVSRAM(practical)",
+    "WT+Buffer",
+    "WL-Cache(eager)",
+)
+
+
+def validate_design(name: str) -> str:
+    """Return ``name`` if it is a known design, else raise ConfigError."""
+    if name not in ALL_DESIGN_NAMES:
+        raise ConfigError(
+            f"unknown design {name!r}; have {ALL_DESIGN_NAMES}")
+    return name
+
 
 def build_design(name: str, nvm: NVMainMemory, config: SimConfig):
     """Instantiate a cache design by its paper name."""
@@ -59,7 +77,7 @@ def build_design(name: str, nvm: NVMainMemory, config: SimConfig):
                                    maxline=config.maxline,
                                    waterline=config.waterline,
                                    dq_policy=config.dq_policy)
-    raise ConfigError(f"unknown design {name!r}; have {DESIGNS + ('NoCache',)}")
+    raise ConfigError(f"unknown design {name!r}; have {ALL_DESIGN_NAMES}")
 
 
 def build_system(program: Program, design_name: str,

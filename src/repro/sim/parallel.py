@@ -1,0 +1,215 @@
+"""Process-pool execution of simulation sweeps.
+
+A sweep grid (workload x design x trace) is embarrassingly parallel: every
+run builds its own System, NVM image, and power trace, and traces are
+re-seeded deterministically per run (``make_trace(name, seed)``), so a
+parallel sweep is *bit-identical* to the serial one - the tests enforce
+RunResult equality. Workers receive only ``(workload name, scale)`` and
+rebuild the program image locally, which keeps task pickles small and the
+per-process workload cache warm across the tasks of a chunk.
+
+Worker counts resolve as: explicit ``jobs`` argument, then the
+``REPRO_JOBS`` environment variable, then ``os.cpu_count()``. ``jobs=1``
+runs serially in-process (no pool, easy tracebacks).
+
+A worker never lets an exception escape as a bare pool error: failures are
+shipped back as records and re-raised here as :class:`~repro.errors.
+SweepError` naming every failing ``(workload, design, trace)`` tuple. A
+hard worker crash (segfault, OOM-kill) breaks the pool; the in-flight
+chunks' tasks are reported the same way instead of hanging the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, SweepError
+from repro.sim.config import SimConfig
+from repro.sim.factory import run_one, validate_design
+from repro.sim.results import RunResult
+from repro.workloads import build_workload, get_workload, verify_checks
+
+#: ``progress(done, total, (workload, design))`` - called in the parent
+#: process after each finished run, in completion (not submission) order.
+ProgressFn = Callable[[int, int, tuple[str, str]], None]
+
+
+def resolve_jobs(jobs: int | None = None, *,
+                 fallback: int | None = None) -> int:
+    """Resolve a worker count: ``jobs`` > ``REPRO_JOBS`` > fallback/cores.
+
+    Returns at least 1. ``fallback=None`` means "all cores" (the
+    :func:`run_grid_parallel` default); :func:`repro.sim.sweep.run_grid`
+    passes ``fallback=1`` so plain calls stay serial unless opted in.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env is not None:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ConfigError(
+                    f"REPRO_JOBS must be an integer worker count, "
+                    f"got {env!r}") from None
+        else:
+            jobs = fallback if fallback is not None else os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One run of the grid, as shipped to a worker process.
+
+    The program is identified by name+scale (rebuilt in the worker), not
+    embedded: workload images are hundreds of KB and deterministic.
+    """
+
+    workload: str
+    design: str
+    trace: str | None
+    scale: float
+    verify: bool
+    config: SimConfig | None
+    overrides: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.workload, self.design)
+
+    @property
+    def where(self) -> tuple[str, str, str | None]:
+        return (self.workload, self.design, self.trace)
+
+
+def run_task(task: SweepTask) -> RunResult:
+    """Execute one task in this process (worker body; also the serial path)."""
+    prog = build_workload(task.workload, task.scale)
+    res = run_one(prog, task.design, task.trace, task.config,
+                  **task.overrides)
+    if task.verify:
+        verify_checks(prog, res.final_memory)
+    return res
+
+
+def _run_chunk(chunk: list[SweepTask]) -> list[tuple]:
+    """Worker entry: run a chunk, converting exceptions to records."""
+    out: list[tuple] = []
+    for task in chunk:
+        try:
+            out.append(("ok", run_task(task)))
+        except Exception as exc:  # shipped home, re-raised as SweepError
+            out.append(("err", type(exc).__name__, str(exc),
+                        traceback.format_exc()))
+    return out
+
+
+def make_tasks(workloads: Iterable[str],
+               designs: Iterable[str],
+               trace: str | None,
+               config: SimConfig | None,
+               scale: float,
+               verify: bool,
+               overrides: dict) -> list[SweepTask]:
+    """Expand a grid into validated tasks (workload-major, serial order)."""
+    designs = [validate_design(d) for d in designs]
+    tasks = []
+    for wname in workloads:
+        get_workload(wname)  # fail fast on unknown names
+        for design in designs:
+            tasks.append(SweepTask(wname, design, trace, scale, verify,
+                                   config, dict(overrides)))
+    return tasks
+
+
+def _chunked(tasks: list[SweepTask], jobs: int) -> list[list[SweepTask]]:
+    """Split tasks into contiguous chunks, ~4 per worker for load balance."""
+    n = max(1, -(-len(tasks) // (jobs * 4)))
+    return [tasks[i:i + n] for i in range(0, len(tasks), n)]
+
+
+def _raise_failures(failures: list[tuple], nworkers: int) -> None:
+    where = tuple(f[0] for f in failures)
+    head = failures[0]
+    detail = head[3] if head[2] is None else f"{head[1]}: {head[2]}"
+    raise SweepError(
+        f"{len(failures)} of the sweep's runs failed across {nworkers} "
+        f"workers; first failure in (workload={head[0][0]!r}, "
+        f"design={head[0][1]!r}, trace={head[0][2]!r}): {detail}",
+        failures=where)
+
+
+def run_tasks(tasks: list[SweepTask], jobs: int | None = None,
+              progress: ProgressFn | None = None
+              ) -> dict[tuple[str, str], RunResult]:
+    """Run tasks, serially or on a process pool; results in task order.
+
+    Results are keyed and ordered by ``(workload, design)`` exactly as the
+    serial loop would produce them, whatever order workers finish in.
+    """
+    jobs = resolve_jobs(jobs)
+    total = len(tasks)
+    if jobs <= 1 or total < 2:
+        out = {}
+        for i, task in enumerate(tasks):
+            out[task.key] = run_task(task)
+            if progress is not None:
+                progress(i + 1, total, task.key)
+        return out
+
+    chunks = _chunked(tasks, jobs)
+    by_task: dict[tuple[str, str], RunResult] = {}
+    # (where, exc_name | None, msg | None, detail) records
+    failures: list[tuple] = []
+    done = 0
+    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+        futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
+        pending = set(futures)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_EXCEPTION)
+            for fut in finished:
+                chunk = futures[fut]
+                try:
+                    records = fut.result()
+                except BrokenProcessPool:
+                    # a worker died without reporting; blame its chunk
+                    for task in chunk:
+                        failures.append((task.where, None, None,
+                                         "worker process crashed "
+                                         "(pool broken)"))
+                    continue
+                for task, rec in zip(chunk, records):
+                    if rec[0] == "ok":
+                        by_task[task.key] = rec[1]
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, task.key)
+                    else:
+                        failures.append((task.where, rec[1], rec[2], rec[3]))
+    if failures:
+        _raise_failures(failures, jobs)
+    return {task.key: by_task[task.key] for task in tasks}
+
+
+def run_grid_parallel(workloads: Iterable[str],
+                      designs: Iterable[str],
+                      trace: str | None = "trace1",
+                      config: SimConfig | None = None,
+                      scale: float = 1.0,
+                      verify: bool = True,
+                      jobs: int | None = None,
+                      progress: ProgressFn | None = None,
+                      **overrides) -> dict[tuple[str, str], RunResult]:
+    """Parallel twin of :func:`repro.sim.sweep.run_grid`.
+
+    Bit-identical to the serial sweep (enforced by
+    ``tests/test_parallel.py``); ``jobs=None`` means ``REPRO_JOBS`` or all
+    cores.
+    """
+    tasks = make_tasks(list(workloads), designs, trace, config, scale,
+                       verify, overrides)
+    return run_tasks(tasks, jobs=jobs, progress=progress)

@@ -160,41 +160,58 @@ class System:
         period = self._new_period()
         no_progress = 0
 
+        # hot-loop local bindings: this loop turns once per chunk (every
+        # ``chunk_instrs`` guest instructions under a trace), so attribute
+        # hops here are a measurable fraction of simulator runtime
+        run_chunk = core.run_chunk
+        consume = cap.consume
+        harvest = cap.harvest
+        trace_energy = trace.energy_nj if trace is not None else None
+        stats = design.stats
+        chunk_instrs = cfg.chunk_instrs
+        max_instructions = cfg.max_instructions
+        worst_instr_nj = em.worst_instr_nj
+        compute_nj = em.compute_nj
+        ifetch_nj = em.ifetch_nj
+        ifetch_miss_nj = em.ifetch_miss_nj
+        # NOT hoisted: _e_backup_level moves when the dynamic maxline
+        # policy calls update_reserve() mid-run
+
         while True:
             if trace is None:
                 budget_instrs = 65536
             else:
                 headroom = cap.energy - self._e_backup_level
                 budget_instrs = min(
-                    cfg.chunk_instrs,
-                    max(2, int(headroom / em.worst_instr_nj)))
-            n, dcycles = core.run_chunk(budget_instrs)
-            if core.instret > cfg.max_instructions:
+                    chunk_instrs,
+                    max(2, int(headroom / worst_instr_nj)))
+            n, dcycles = run_chunk(budget_instrs)
+            instret = core.instret
+            if instret > max_instructions:
                 raise ExecutionError(
                     f"{self.program.name}: exceeded instruction budget")
             # per-chunk energy
-            d_compute = ((core.instret - last_instret) * em.compute_nj
-                         + (core.ic_fetches - last_fetch) * em.ifetch_nj
-                         + (core.ic_misses - last_imiss) * em.ifetch_miss_nj
+            d_compute = ((instret - last_instret) * compute_nj
+                         + (core.ic_fetches - last_fetch) * ifetch_nj
+                         + (core.ic_misses - last_imiss) * ifetch_miss_nj
                          + core_leak_w * dcycles)
             d_leak_cache = design_leak_w * dcycles
             cache_leak_total += d_leak_cache
-            stats = design.stats
             cache_now = (stats.cache_read_energy_nj
                          + stats.cache_write_energy_nj)
             nvm_now = nvm.energy_read_nj + nvm.energy_write_nj
             d_cache = cache_now - last_cache
             d_nvm = nvm_now - last_nvm
             compute_total += d_compute
-            last_instret = core.instret
+            last_instret = instret
             last_fetch = core.ic_fetches
             last_imiss = core.ic_misses
             last_cache = cache_now
             last_nvm = nvm_now
 
             if trace is not None:
-                cap.consume(d_compute + d_leak_cache + d_cache + d_nvm)
-                cap.harvest(trace.energy_nj(t, t + dcycles))
+                consume(d_compute + d_leak_cache + d_cache + d_nvm)
+                harvest(trace_energy(t, t + dcycles))
             t += dcycles
 
             if core.halted:
@@ -231,7 +248,7 @@ class System:
                         f"exceeding the reserve ({self.reserve_nj:.0f} nJ) - "
                         f"crash-consistency guarantee violated")
                 cap.consume(ckpt_energy)
-                self.nvff.checkpoint(core.regs, core.pc,
+                self.nvff.checkpoint(core.arch_regs, core.pc,
                                      getattr(design, "maxline", 0),
                                      getattr(design, "waterline", 0),
                                      self.watchdog.intervals)
@@ -325,7 +342,7 @@ class System:
             res.maxline_min = res.maxline_max = design.maxline
         if isinstance(design, WLCache) and design.dynamic_policy is not None:
             res.dyn_raises = design.dynamic_policy.raises
-        res.final_regs = list(core.regs)
+        res.final_regs = core.arch_regs
         res.final_memory = nvm.words
         return res
 

@@ -50,5 +50,5 @@ def run_oracle(program: Program, max_instrs: int = 50_000_000) -> OracleResult:
     mem = FunctionalMemory(program.initial_memory())
     core = InOrderCore(program, mem)
     core.run_to_halt(max_instrs)
-    return OracleResult(memory=mem.words, regs=list(core.regs),
+    return OracleResult(memory=mem.words, regs=core.arch_regs,
                         instructions=core.instret)

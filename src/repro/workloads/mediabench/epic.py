@@ -12,7 +12,7 @@ import math
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
-from repro.workloads.common import rng, scaled
+from repro.workloads.common import rng
 
 _KERNEL = [1, 4, 6, 4, 1]  # /16
 _QSTEP = 8

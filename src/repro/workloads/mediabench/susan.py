@@ -14,7 +14,7 @@ import math
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
-from repro.workloads.common import rng, scaled
+from repro.workloads.common import rng
 
 #: the 37-offset circular mask of radius ~3.4 (classic SUSAN)
 MASK = [(dx, dy) for dy in range(-3, 4) for dx in range(-3, 4)

@@ -14,7 +14,7 @@ import math
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
-from repro.workloads.common import rng, scaled, to_s32
+from repro.workloads.common import rng, to_s32
 
 _U32 = 0xFFFFFFFF
 

@@ -1,7 +1,5 @@
 """Baseline cache designs: write policies and persistence protocols."""
 
-import pytest
-
 from repro.caches.nvcache import NVCacheWB
 from repro.caches.nvsram import NVSRAMIdeal
 from repro.caches.params import CacheParams

@@ -5,8 +5,6 @@ import pytest
 from repro.errors import ConsistencyError
 from repro.isa.builder import ProgramBuilder
 from repro.mem.nvm import NVMainMemory
-from repro.mem.setassoc import CacheGeometry
-from repro.caches.params import CacheParams
 from repro.sim.config import SimConfig
 from repro.sim.system import System
 from repro.verify.checker import check_crash_consistency, compare_states

@@ -71,6 +71,32 @@ class TestSweep:
         monkeypatch.delenv("REPRO_BENCH_SCALE")
         assert bench_scale(2.0) == 2.0
 
+    def test_bench_scale_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "fast")
+        with pytest.raises(ConfigError, match="REPRO_BENCH_SCALE"):
+            bench_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0")
+        with pytest.raises(ConfigError, match="must be > 0"):
+            bench_scale()
+
+    def test_empty_workload_list(self):
+        assert run_grid([], ("WL-Cache",), None) == {}
+
+    def test_unknown_design_before_running(self):
+        # rejected upfront (before any simulation), with the full roster
+        with pytest.raises(ConfigError, match="unknown design"):
+            run_grid(["sha"], ("WriteHeavy-Cache",), None, scale=0.1)
+
+    def test_unknown_workload_before_running(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            run_grid(["sort"], ("WL-Cache",), None, scale=0.1)
+
+    def test_missing_baseline_has_clear_message(self):
+        results = run_grid(["sha"], ("WL-Cache", "VCache-WT"), None,
+                           scale=0.1)
+        with pytest.raises(ConfigError, match="NVSRAM"):
+            speedups_vs_baseline(results)
+
 
 class TestRunResult:
     def test_summary_and_properties(self):

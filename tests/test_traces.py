@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.energy.synthetic import (RFTrace, make_trace, solar, thermal,
-                                    trace1, trace2, trace3)
+from repro.energy.synthetic import (make_trace, solar, thermal, trace1,
+                                    trace2, trace3)
 from repro.energy.traces import ConstantTrace, PowerTrace, load_csv, save_csv
 from repro.errors import TraceError
 
