@@ -6,6 +6,10 @@ Commands:
   condition and print the run summary (optionally verifying consistency).
 * ``compare <workload>`` - run every design on one workload and print
   normalized speedups.
+* ``lint`` - statically analyze the suite's workload programs (CFG +
+  dataflow: uninitialized reads, dead stores, unreachable code, bad
+  branch targets, misaligned/out-of-bounds accesses). Exit code 0 when
+  clean, 1 with warnings, 2 with error-severity findings.
 * ``list`` - list available workloads, designs, and traces.
 
 Examples::
@@ -13,6 +17,7 @@ Examples::
     python -m repro run sha --design WL-Cache --trace trace1
     python -m repro run qsort --trace trace2 --maxline 4 --static
     python -m repro compare adpcmencode --trace trace2
+    python -m repro lint --format json
     python -m repro plot results/fig05_trace1.csv
     python -m repro list
 """
@@ -170,6 +175,21 @@ def cmd_plot(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.runner import (exit_code, format_findings_json,
+                                   format_findings_text, lint_workloads)
+
+    if args.apps is not None and not args.apps:
+        print("repro lint: error: --apps given with no workloads "
+              "(omit it to lint the whole suite)", file=sys.stderr)
+        return 2
+    results = lint_workloads(args.apps, scale=args.scale)
+    formatter = (format_findings_json if args.format == "json"
+                 else format_findings_text)
+    print(formatter(results))
+    return exit_code(results)
+
+
 def cmd_list(args) -> int:
     print("workloads:", ", ".join(ALL_WORKLOADS))
     print("designs:  ", ", ".join(ALL_DESIGNS))
@@ -211,6 +231,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="suppress the progress line")
     _add_sim_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically analyze the suite's workload programs")
+    p_lint.add_argument("--apps", nargs="*", default=None,
+                        choices=ALL_WORKLOADS,
+                        help="workload subset (default: all 23)")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    p_lint.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_plot = sub.add_parser("plot", help="render a bench CSV to SVG")
     p_plot.add_argument("csv", help="a bench CSV, or a results directory to render everything")

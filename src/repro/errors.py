@@ -41,6 +41,13 @@ class ConsistencyError(ReproError):
     from the failure-free oracle."""
 
 
+class InvariantViolation(ReproError):
+    """Raised by the runtime invariant checker (:mod:`repro.lint.invariants`)
+    when the WL-Cache protocol breaks one of its §5 guarantees - e.g. the
+    dirty-line population exceeds ``maxline``, or a queue entry vanishes
+    before its write-back ACK."""
+
+
 class TraceError(ReproError):
     """Raised for malformed or exhausted power traces."""
 

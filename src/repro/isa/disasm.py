@@ -44,3 +44,46 @@ def disassemble(prog: Program) -> str:
             out.append(f"{lbl}:")
         out.append(f"  {i:5d}: {disassemble_one(ins)}")
     return "\n".join(out)
+
+
+def to_asm(prog: Program) -> str:
+    """Render ``prog`` as source the text assembler accepts.
+
+    Round-trip guarantee: ``assemble(to_asm(p), mem_bytes=p.mem_bytes)``
+    reproduces the instruction tuples, data image, and symbol table
+    exactly. Branch/jump targets become synthesized ``L<index>`` labels
+    (the original label names are presentation metadata, not semantics),
+    which is why this lives beside the pretty-printer instead of reusing
+    its ``@target`` notation.
+    """
+    targets: set[int] = set()
+    for op, _a, b, c in prog.instructions:
+        if op in oc.B_FORMAT:
+            targets.add(c)
+        elif op in oc.J_FORMAT:
+            targets.add(b)
+    out = []
+    for i, ins in enumerate(prog.instructions):
+        op, a, b, c = ins
+        if i in targets:
+            out.append(f"L{i}:")
+        if op in oc.B_FORMAT:
+            out.append(f"  {oc.MNEMONICS[op]} {_R[a]}, {_R[b]}, L{c}")
+        elif op in oc.J_FORMAT:
+            out.append(f"  {oc.MNEMONICS[op]} {_R[a]}, L{b}")
+        else:
+            out.append("  " + disassemble_one(ins))
+    widxs = sorted(prog.data)
+    i = 0
+    while i < len(widxs):
+        j = i
+        while j + 1 < len(widxs) and widxs[j + 1] == widxs[j] + 1:
+            j += 1
+        out.append(f".data {widxs[i] * 4:#x}")
+        run = [f"{prog.data[w]:#x}" for w in widxs[i:j + 1]]
+        for k in range(0, len(run), 8):
+            out.append("  .word " + ", ".join(run[k:k + 8]))
+        i = j + 1
+    for name, addr in prog.symbols.items():
+        out.append(f".symbol {name}, {addr:#x}")
+    return "\n".join(out) + "\n"

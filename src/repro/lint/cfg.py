@@ -1,0 +1,171 @@
+"""Control-flow graph construction over instruction tuples.
+
+The graph is built at *instruction* granularity (programs are small - a
+kernel is hundreds to a few thousand instructions - so per-instruction
+dataflow is both simpler and more precise than block-level transfer
+functions), with a basic-block partition layered on top for reporting.
+
+Call/return modeling is context-insensitive but path-respecting:
+
+* ``jal rd, L`` with ``rd != x0`` is a *call*: its only CFG successor is
+  the callee entry ``L``. The fall-through instruction (the return site)
+  becomes reachable through the callee's returns, never via a fake
+  call-bypass edge - so dataflow facts genuinely travel through callees.
+* ``jalr x0, ra, imm`` is a *return*: it gets an edge to every return
+  site (the instruction after each call). This is the standard
+  context-insensitive supergraph over-approximation.
+* any other ``jalr`` is an indirect jump: it conservatively targets every
+  basic-block leader.
+
+Out-of-range branch/jump targets contribute no edge (rule L004 reports
+them); a final instruction that can fall through contributes the
+``falls_off_end`` flag (rule L007).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import opcodes as oc
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run ``[start, end)`` of instructions."""
+
+    start: int
+    end: int
+    reachable: bool = False
+
+
+@dataclass
+class CFG:
+    """Per-instruction successor/predecessor lists plus the block partition."""
+
+    n: int
+    succs: list[list[int]] = field(default_factory=list)
+    preds: list[list[int]] = field(default_factory=list)
+    reachable: list[bool] = field(default_factory=list)
+    blocks: list[BasicBlock] = field(default_factory=list)
+    #: instruction indices that immediately follow a call (return sites)
+    return_sites: list[int] = field(default_factory=list)
+    #: reachable instructions that can fall through past the last instruction
+    falls_off_end: list[int] = field(default_factory=list)
+    #: True when the program contains an indirect (non-return) jalr; the
+    #: analyses are then maximally conservative
+    has_indirect_jumps: bool = False
+
+
+def _is_call(op: int, a: int) -> bool:
+    return op == oc.JAL and a != 0
+
+
+def _is_return(op: int, a: int, b: int) -> bool:
+    return op == oc.JALR and a == 0 and b == 1
+
+
+def build_cfg(instructions: list[tuple]) -> CFG:
+    """Build the CFG; tolerates invalid targets (no edge is added)."""
+    n = len(instructions)
+    cfg = CFG(n=n, succs=[[] for _ in range(n)],
+              preds=[[] for _ in range(n)],
+              reachable=[False] * n)
+    in_range = range(n).__contains__
+
+    # return sites and indirect-jump presence come first: return edges and
+    # leader sets depend on them
+    for i, (op, a, b, _c) in enumerate(instructions):
+        if _is_call(op, a) and i + 1 < n:
+            cfg.return_sites.append(i + 1)
+        if op == oc.JALR and not _is_return(op, a, b):
+            cfg.has_indirect_jumps = True
+
+    leaders = _leaders(instructions, cfg)
+    leader_list = sorted(leaders)
+
+    for i, (op, a, b, c) in enumerate(instructions):
+        succ = cfg.succs[i]
+        if op in oc.B_FORMAT:
+            if in_range(c):
+                succ.append(c)
+            if i + 1 < n:
+                succ.append(i + 1)
+        elif op == oc.JAL:
+            # plain jump and call alike transfer only to the target; a
+            # call's fall-through is reached through the callee's returns
+            if in_range(b):
+                succ.append(b)
+        elif op == oc.JALR:
+            if _is_return(op, a, b):
+                succ.extend(cfg.return_sites)
+            else:
+                succ.extend(leader_list)
+        elif op == oc.HALT:
+            pass
+        else:
+            if i + 1 < n:
+                succ.append(i + 1)
+
+    for i, succ in enumerate(cfg.succs):
+        # dedupe while preserving order (a conditional branch to i+1 would
+        # otherwise double its edge)
+        seen: set[int] = set()
+        cfg.succs[i] = [s for s in succ if not (s in seen or seen.add(s))]
+        for s in cfg.succs[i]:
+            cfg.preds[s].append(i)
+
+    _mark_reachable(cfg)
+    _partition_blocks(cfg, leaders)
+
+    # a reachable instruction that falls through past the end of the
+    # program (no successor despite not being HALT / an always-taken jump)
+    for i, (op, a, b, c) in enumerate(instructions):
+        if i != n - 1 or not cfg.reachable[i] or op == oc.HALT:
+            continue
+        fall_through = not (op in oc.B_FORMAT or op in oc.J_FORMAT
+                            or op in oc.JR_FORMAT)
+        if fall_through or op in oc.B_FORMAT:
+            cfg.falls_off_end.append(i)
+    return cfg
+
+
+def _leaders(instructions: list[tuple], cfg: CFG) -> set[int]:
+    """Basic-block leaders: entry, targets, and post-terminator indices."""
+    n = len(instructions)
+    leaders = {0} if n else set()
+    for i, (op, _a, b, c) in enumerate(instructions):
+        if op in oc.B_FORMAT:
+            if 0 <= c < n:
+                leaders.add(c)
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif op == oc.JAL:
+            if 0 <= b < n:
+                leaders.add(b)
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif op in (oc.JALR, oc.HALT):
+            if i + 1 < n:
+                leaders.add(i + 1)
+    return leaders
+
+
+def _mark_reachable(cfg: CFG) -> None:
+    if cfg.n == 0:
+        return
+    stack = [0]
+    reachable = cfg.reachable
+    reachable[0] = True
+    while stack:
+        i = stack.pop()
+        for s in cfg.succs[i]:
+            if not reachable[s]:
+                reachable[s] = True
+                stack.append(s)
+
+
+def _partition_blocks(cfg: CFG, leaders: set[int]) -> None:
+    ordered = sorted(leaders)
+    for j, start in enumerate(ordered):
+        end = ordered[j + 1] if j + 1 < len(ordered) else cfg.n
+        cfg.blocks.append(BasicBlock(start, end, cfg.reachable[start]))

@@ -1,0 +1,187 @@
+"""Dataflow analyses over the per-instruction CFG.
+
+All register sets are bitmask ints (bit ``r`` = register ``xr``), which
+keeps the worklist transfer functions allocation-free. Analyses:
+
+* :func:`reaching_written` - forward may-analysis: which registers have at
+  least one write reaching each instruction (union join). A read of a
+  register whose bit is clear is a read *no write can ever reach* (L001).
+* :func:`live_out` - backward may-analysis: which registers may still be
+  read after each instruction. A write to a register not live-out is a
+  dead store (L002).
+* :func:`const_states` - forward constant propagation: per-instruction
+  ``{reg: value}`` maps (absent = unknown), joined by agreement. Feeds the
+  static memory alignment/bounds checks (L005/L006/L008).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa import opcodes as oc
+from repro.lint.cfg import CFG
+
+_U32 = 0xFFFFFFFF
+
+#: registers treated as live at program exit: ra/sp are runtime/ABI state
+#: (the builder prologue initializes sp whether or not a kernel uses the
+#: stack; flagging that would be noise, not signal)
+EXIT_LIVE = (1 << 1) | (1 << 2)
+
+
+def defs_uses(ins: tuple) -> tuple[int | None, tuple[int, ...]]:
+    """Return ``(written register | None, read registers)`` for one
+    instruction tuple."""
+    op, a, b, c = ins
+    if op in oc.R_FORMAT:
+        return a, (b, c)
+    if op in oc.I_FORMAT:
+        return a, (b,)
+    if op in oc.LI_FORMAT:
+        return a, ()
+    if op in oc.LOAD_FORMAT:
+        return a, (b,)
+    if op in oc.STORE_FORMAT:
+        return None, (a, b)
+    if op in oc.B_FORMAT:
+        return None, (a, b)
+    if op in oc.J_FORMAT:
+        return a, ()
+    if op in oc.JR_FORMAT:
+        return a, (b,)
+    return None, ()  # SYS
+
+
+def reaching_written(cfg: CFG, instructions: list[tuple]) -> list[int]:
+    """Bitmask of registers with >= 1 reaching write, at each instruction's
+    entry. ``x0`` is always "written" (hardwired zero)."""
+    n = cfg.n
+    state = [0] * n  # union join: start empty, grow monotonically
+    if n == 0:
+        return state
+    state[0] = 1  # x0
+    work = deque(range(n))
+    queued = [True] * n
+    while work:
+        i = work.popleft()
+        queued[i] = False
+        d, _uses = defs_uses(instructions[i])
+        out = state[i] | (1 << d if d is not None else 0)
+        for s in cfg.succs[i]:
+            new = state[s] | out | 1
+            if new != state[s]:
+                state[s] = new
+                if not queued[s]:
+                    queued[s] = True
+                    work.append(s)
+    return state
+
+
+def live_out(cfg: CFG, instructions: list[tuple],
+             exit_live: int = EXIT_LIVE) -> list[int]:
+    """Bitmask of registers that may be read after each instruction.
+
+    ``exit_live`` seeds HALT instructions (and any instruction with no
+    successors, e.g. one that falls off the end - conservatively treat the
+    whole file as live there so L002 does not pile on top of L007).
+    """
+    n = cfg.n
+    live_in = [0] * n
+    out = [0] * n
+    work = deque(range(n - 1, -1, -1))
+    queued = [True] * n
+    while work:
+        i = work.popleft()
+        queued[i] = False
+        op = instructions[i][0]
+        if not cfg.succs[i]:
+            o = _U32 if (op != oc.HALT and op not in oc.JR_FORMAT) else exit_live
+        else:
+            o = 0
+            for s in cfg.succs[i]:
+                o |= live_in[s]
+        out[i] = o
+        d, uses = defs_uses(instructions[i])
+        newin = o & ~(1 << d) if d is not None else o
+        for u in uses:
+            newin |= 1 << u
+        if newin != live_in[i]:
+            live_in[i] = newin
+            for p in cfg.preds[i]:
+                if not queued[p]:
+                    queued[p] = True
+                    work.append(p)
+    return out
+
+
+# constant evaluation for the ops cheap enough to model exactly; anything
+# else degrades the destination to "unknown"
+_CONST_EVAL = {
+    oc.ADD: lambda x, y: (x + y) & _U32,
+    oc.ADDI: lambda x, y: (x + y) & _U32,
+    oc.SUB: lambda x, y: (x - y) & _U32,
+    oc.AND: lambda x, y: x & y,
+    oc.ANDI: lambda x, y: x & (y & _U32),
+    oc.OR: lambda x, y: x | y,
+    oc.ORI: lambda x, y: x | (y & _U32),
+    oc.XOR: lambda x, y: x ^ y,
+    oc.XORI: lambda x, y: x ^ (y & _U32),
+    oc.SLL: lambda x, y: (x << (y & 31)) & _U32,
+    oc.SLLI: lambda x, y: (x << (y & 31)) & _U32,
+    oc.SRL: lambda x, y: x >> (y & 31),
+    oc.SRLI: lambda x, y: x >> (y & 31),
+    oc.MUL: lambda x, y: (x * y) & _U32,
+}
+
+
+def const_states(cfg: CFG, instructions: list[tuple]) -> list[dict[int, int]]:
+    """Known-constant register maps at each instruction's entry.
+
+    Absent key = unknown. Only instructions reachable from entry carry a
+    meaningful state (unreachable ones keep the empty map).
+    """
+    n = cfg.n
+    state: list[dict[int, int] | None] = [None] * n
+    if n == 0:
+        return []
+    state[0] = {0: 0}
+    work = deque([0])
+    queued = [False] * n
+    queued[0] = True
+    while work:
+        i = work.popleft()
+        queued[i] = False
+        out = _const_transfer(instructions[i], state[i])
+        for s in cfg.succs[i]:
+            cur = state[s]
+            if cur is None:
+                new = dict(out)
+            else:
+                new = {r: v for r, v in cur.items()
+                       if r in out and out[r] == v}
+                if new == cur:
+                    continue
+            state[s] = new
+            if not queued[s]:
+                queued[s] = True
+                work.append(s)
+    return [(s if s is not None else {}) for s in state]
+
+
+def _const_transfer(ins: tuple, env: dict[int, int]) -> dict[int, int]:
+    op, a, b, c = ins
+    d, _uses = defs_uses(ins)
+    if d is None:
+        return env
+    out = dict(env)
+    out.pop(d, None)
+    if op == oc.LI:
+        out[d] = b & _U32
+    elif op in oc.R_FORMAT and op in _CONST_EVAL:
+        if b in env and c in env:
+            out[d] = _CONST_EVAL[op](env[b], env[c])
+    elif op in oc.I_FORMAT and op in _CONST_EVAL:
+        if b in env:
+            out[d] = _CONST_EVAL[op](env[b], c)
+    out[0] = 0  # x0 is hardwired even if something "writes" it
+    return out

@@ -1,0 +1,97 @@
+"""Structured lint findings and the rule registry.
+
+Every pass reports :class:`Finding` instances; new passes slot in by
+registering a :class:`Rule` here and emitting findings that name it. The
+CLI and CI layers only consume the dataclasses, so rule additions never
+touch the reporting plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+SEVERITIES = (ERROR, WARNING, INFO)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable ID, its default severity, and a summary."""
+
+    id: str
+    name: str
+    severity: str
+    summary: str
+
+
+#: The rule registry, keyed by stable rule ID (see docs/lint.md).
+RULES: dict[str, Rule] = {r.id: r for r in [
+    Rule("L001", "uninit-read", ERROR,
+         "read of a register no write ever reaches"),
+    Rule("L002", "dead-store", WARNING,
+         "register write that no instruction can ever read"),
+    Rule("L003", "unreachable", WARNING,
+         "basic block unreachable from the program entry"),
+    Rule("L004", "bad-target", ERROR,
+         "branch/jump target outside the program"),
+    Rule("L005", "misaligned-access", ERROR,
+         "statically-known memory address violates access alignment"),
+    Rule("L006", "out-of-bounds", ERROR,
+         "statically-known memory address outside the data address space"),
+    Rule("L007", "fall-off-end", ERROR,
+         "reachable execution path falls off the end of the program"),
+    Rule("L008", "zero-page-access", WARNING,
+         "statically-known memory address below the data segment base"),
+]}
+
+RULES_BY_NAME: dict[str, Rule] = {r.name: r for r in RULES.values()}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic.
+
+    Attributes:
+        rule: The rule ID (e.g. ``"L001"``).
+        severity: One of :data:`SEVERITIES`.
+        location: ``"<program>@<instruction index>"`` (or ``"<program>"``
+            for whole-program findings).
+        message: Human-readable diagnostic.
+    """
+
+    rule: str
+    severity: str
+    location: str
+    message: str
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "name": RULES[self.rule].name if self.rule in RULES else "",
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        name = RULES[self.rule].name if self.rule in RULES else "?"
+        return (f"{self.location}: {self.severity}: "
+                f"[{self.rule} {name}] {self.message}")
+
+
+def make_finding(rule_id: str, location: str, message: str,
+                 severity: str | None = None) -> Finding:
+    """Build a finding for a registered rule (default severity unless
+    overridden)."""
+    rule = RULES[rule_id]
+    return Finding(rule_id, severity or rule.severity, location, message)
+
+
+def count_by_severity(findings) -> dict[str, int]:
+    """Histogram findings over :data:`SEVERITIES` (all keys present)."""
+    counts = dict.fromkeys(SEVERITIES, 0)
+    for f in findings:
+        counts[f.severity] = counts.get(f.severity, 0) + 1
+    return counts

@@ -1,0 +1,207 @@
+"""The lint rule passes.
+
+Each pass is a function ``(ctx) -> list[Finding]`` over a shared
+:class:`LintContext`; :func:`run_rules` executes every registered pass.
+Rules only fire on *reachable* instructions (except L003, which is the
+reachability report itself), so one root cause does not cascade into a
+finding storm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.isa import opcodes as oc
+from repro.isa.program import DATA_BASE, Program
+from repro.lint.cfg import CFG, build_cfg
+from repro.lint.dataflow import (const_states, defs_uses, live_out,
+                                 reaching_written)
+from repro.lint.findings import Finding, make_finding
+
+_U32 = 0xFFFFFFFF
+
+#: per-opcode required alignment for the memory rules
+_ALIGN = {oc.LW: 4, oc.SW: 4, oc.LH: 2, oc.LHU: 2, oc.SH: 2,
+          oc.LB: 1, oc.LBU: 1, oc.SB: 1}
+#: access width in bytes (for the bounds check)
+_WIDTH = dict(_ALIGN)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule pass needs, computed lazily and shared."""
+
+    program: Program
+    cfg: CFG = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cfg = build_cfg(self.program.instructions)
+
+    def loc(self, idx: int) -> str:
+        return f"{self.program.name}@{idx}"
+
+    @cached_property
+    def reaching(self) -> list[int]:
+        return reaching_written(self.cfg, self.program.instructions)
+
+    @cached_property
+    def liveness(self) -> list[int]:
+        return live_out(self.cfg, self.program.instructions)
+
+    @cached_property
+    def consts(self) -> list[dict[int, int]]:
+        return const_states(self.cfg, self.program.instructions)
+
+
+def _reg(r: int) -> str:
+    return f"{oc.REGISTER_NAMES[r]} (x{r})"
+
+
+def check_uninit_reads(ctx: LintContext) -> list[Finding]:
+    """L001: a reachable read of a register no write ever reaches.
+
+    Registers power up as zero in this machine, so executing such a read
+    is deterministic - but depending on an implicit zero is almost always
+    a kernel bug (a missing ``li``), and never survives a refactor.
+    """
+    out = []
+    reaching = ctx.reaching
+    for i, ins in enumerate(ctx.program.instructions):
+        if not ctx.cfg.reachable[i]:
+            continue
+        _d, uses = defs_uses(ins)
+        seen = set()
+        for u in uses:
+            if u in seen or reaching[i] >> u & 1:
+                continue
+            seen.add(u)
+            out.append(make_finding("L001", ctx.loc(i),
+                                    f"reads {_reg(u)}, which is never "
+                                    f"written on any path from entry"))
+    return out
+
+
+def check_dead_stores(ctx: LintContext) -> list[Finding]:
+    """L002: a register write that nothing can ever read.
+
+    Writes to ``x0`` are deliberate discards (``j`` is ``jal x0, ...``)
+    and ra/sp count as live at exit (see dataflow.EXIT_LIVE), so the
+    findings left are genuinely dead computation.
+    """
+    out = []
+    liveness = ctx.liveness
+    for i, ins in enumerate(ctx.program.instructions):
+        if not ctx.cfg.reachable[i]:
+            continue
+        d, _uses = defs_uses(ins)
+        if d is None or d == 0:
+            continue
+        if ins[0] in oc.LOAD_FORMAT or ins[0] in oc.JR_FORMAT:
+            # loads touch the memory system (timing/allocation side
+            # effects a kernel may rely on); jalr's link write is the
+            # return-address protocol
+            continue
+        if not (liveness[i] >> d & 1):
+            out.append(make_finding("L002", ctx.loc(i),
+                                    f"value written to {_reg(d)} is never "
+                                    f"read (dead store)"))
+    return out
+
+
+def check_unreachable(ctx: LintContext) -> list[Finding]:
+    """L003: basic blocks no path from the entry reaches."""
+    out = []
+    for blk in ctx.cfg.blocks:
+        if blk.reachable:
+            continue
+        count = blk.end - blk.start
+        out.append(make_finding("L003", ctx.loc(blk.start),
+                                f"unreachable block of {count} "
+                                f"instruction{'s' if count != 1 else ''} "
+                                f"(indices {blk.start}..{blk.end - 1})"))
+    return out
+
+
+def check_branch_targets(ctx: LintContext) -> list[Finding]:
+    """L004: branch/jump targets outside ``[0, len(program))``.
+
+    :meth:`Program.validate` refuses such programs at build time; the lint
+    pass exists so hand-constructed or mutated programs get a diagnostic
+    with the same rule plumbing instead of a hard error.
+    """
+    out = []
+    n = len(ctx.program.instructions)
+    for i, (op, _a, b, c) in enumerate(ctx.program.instructions):
+        target = None
+        if op in oc.B_FORMAT:
+            target = c
+        elif op in oc.J_FORMAT:
+            target = b
+        if target is None or (isinstance(target, int) and 0 <= target < n):
+            continue
+        out.append(make_finding("L004", ctx.loc(i),
+                                f"{oc.MNEMONICS[op]} target {target!r} is "
+                                f"outside the program (0..{n - 1})"))
+    return out
+
+
+def check_memory_accesses(ctx: LintContext) -> list[Finding]:
+    """L005/L006/L008: constant-resolvable addresses that are misaligned,
+    out of the data address space, or below the data segment base."""
+    out = []
+    consts = ctx.consts
+    mem_bytes = ctx.program.mem_bytes
+    for i, (op, _a, b, c) in enumerate(ctx.program.instructions):
+        if op not in _ALIGN or not ctx.cfg.reachable[i]:
+            continue
+        base = consts[i].get(b)
+        if base is None:
+            continue
+        addr = (base + c) & _U32
+        mnem = oc.MNEMONICS[op]
+        align = _ALIGN[op]
+        if addr % align:
+            out.append(make_finding(
+                "L005", ctx.loc(i),
+                f"{mnem} address {addr:#x} is not {align}-byte aligned"))
+            continue
+        if addr + _WIDTH[op] > mem_bytes:
+            out.append(make_finding(
+                "L006", ctx.loc(i),
+                f"{mnem} address {addr:#x} is outside the "
+                f"{mem_bytes:#x}-byte data address space"))
+        elif addr < DATA_BASE:
+            out.append(make_finding(
+                "L008", ctx.loc(i),
+                f"{mnem} address {addr:#x} is below the data segment "
+                f"base ({DATA_BASE:#x})"))
+    return out
+
+
+def check_fall_off_end(ctx: LintContext) -> list[Finding]:
+    """L007: a reachable path can run past the last instruction."""
+    return [make_finding("L007", ctx.loc(i),
+                         "execution can fall through past the end of the "
+                         "program (no trailing halt on this path)")
+            for i in ctx.cfg.falls_off_end]
+
+
+#: Registered passes, in reporting order.
+ALL_RULES = (
+    check_branch_targets,
+    check_fall_off_end,
+    check_unreachable,
+    check_uninit_reads,
+    check_dead_stores,
+    check_memory_accesses,
+)
+
+
+def run_rules(program: Program) -> list[Finding]:
+    """Run every registered pass over one program."""
+    ctx = LintContext(program)
+    findings: list[Finding] = []
+    for rule in ALL_RULES:
+        findings.extend(rule(ctx))
+    return findings

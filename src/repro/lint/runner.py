@@ -1,0 +1,86 @@
+"""Lint driver: run the rule passes over workloads and format the results.
+
+The CLI's ``repro lint`` subcommand is a thin shell over this module, and
+the CI ``lint-programs`` job consumes :func:`format_findings_json` output
+as its findings artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.isa.program import Program
+from repro.lint.findings import (ERROR, SEVERITIES, WARNING, Finding,
+                                 count_by_severity)
+from repro.lint.rules import run_rules
+from repro.workloads import ALL_WORKLOADS, build_workload
+
+#: ``repro lint`` exit codes: clean / warnings only / error findings.
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 1
+EXIT_ERRORS = 2
+
+
+def lint_program(program: Program) -> list[Finding]:
+    """Run every lint pass over one assembled program."""
+    return run_rules(program)
+
+
+def lint_workloads(names=None, scale: float = 1.0
+                   ) -> dict[str, list[Finding]]:
+    """Build and lint the named suite workloads (default: all 23).
+
+    Returns ``{workload name: findings}`` in request order; unknown names
+    raise ``KeyError`` via the workload registry.
+    """
+    names = list(names) if names else list(ALL_WORKLOADS)
+    return {name: lint_program(build_workload(name, scale))
+            for name in names}
+
+
+def exit_code(results: dict[str, list[Finding]]) -> int:
+    """Map lint results onto the CLI exit-code contract."""
+    severities = {f.severity for findings in results.values()
+                  for f in findings}
+    if ERROR in severities:
+        return EXIT_ERRORS
+    if severities:
+        return EXIT_WARNINGS
+    return EXIT_CLEAN
+
+
+def _totals(results: dict[str, list[Finding]]) -> dict[str, int]:
+    totals = dict.fromkeys(SEVERITIES, 0)
+    for findings in results.values():
+        for sev, n in count_by_severity(findings).items():
+            totals[sev] += n
+    return totals
+
+
+def format_findings_text(results: dict[str, list[Finding]]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = []
+    for findings in results.values():
+        lines.extend(f.render() for f in findings)
+    totals = _totals(results)
+    clean = sum(1 for f in results.values() if not f)
+    lines.append(f"{len(results)} programs linted, {clean} clean; "
+                 f"{totals[ERROR]} errors, {totals[WARNING]} warnings")
+    return "\n".join(lines)
+
+
+def format_findings_json(results: dict[str, list[Finding]]) -> str:
+    """Machine-readable report (the CI findings artifact)."""
+    payload = {
+        "programs": [
+            {
+                "program": name,
+                "findings": [f.as_dict() for f in findings],
+                "counts": count_by_severity(findings),
+            }
+            for name, findings in results.items()
+        ],
+        "totals": _totals(results),
+        "exit_code": exit_code(results),
+    }
+    return json.dumps(payload, indent=2)

@@ -127,6 +127,10 @@ class SimConfig:
     persist_depth: int = 8
 
     # simulator mechanics
+    #: Attach the WL-Cache protocol invariant checker
+    #: (:mod:`repro.lint.invariants`). ``REPRO_CHECK=1`` in the environment
+    #: enables it too; when neither is set the runtime cost is zero.
+    check_invariants: bool = False
     chunk_instrs: int = 32
     max_instructions: int = 60_000_000
     max_outages: int = 100_000

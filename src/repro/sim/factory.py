@@ -16,6 +16,7 @@ from repro.energy.synthetic import make_trace
 from repro.energy.traces import PowerTrace
 from repro.errors import ConfigError
 from repro.isa.program import Program
+from repro.lint.invariants import attach_invariants, invariants_enabled
 from repro.mem.memsys import NoCacheNVP
 from repro.mem.nvm import NVMainMemory
 from repro.sim.config import DESIGNS, SimConfig
@@ -97,6 +98,8 @@ def build_system(program: Program, design_name: str,
                  else make_trace(trace, config.trace_seed))
     nvm = NVMainMemory(program.initial_memory(), config.nvm)
     design = build_design(design_name, nvm, config)
+    if config.check_invariants or invariants_enabled():
+        attach_invariants(design)
     costs = config.costs
     if design_name == "NVCache-WB":
         costs = replace(costs, ifetch_extra=config.nvcache_ifetch_extra)

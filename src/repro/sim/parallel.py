@@ -29,6 +29,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, SweepError
+from repro.lint.invariants import ENV_VAR as _CHECK_ENV
 from repro.sim.config import SimConfig
 from repro.sim.factory import run_one, validate_design
 from repro.sim.results import RunResult
@@ -94,6 +95,20 @@ def run_task(task: SweepTask) -> RunResult:
     if task.verify:
         verify_checks(prog, res.final_memory)
     return res
+
+
+def _init_worker(check_env: str | None) -> None:
+    """Worker initializer: re-export REPRO_CHECK into the child process.
+
+    Pools spawned with a non-fork start method begin from a fresh
+    interpreter whose environment may not mirror the parent's, so the
+    invariant-checking switch is shipped explicitly - a checked parallel
+    sweep must check in every worker, not just the parent.
+    """
+    if check_env is None:
+        os.environ.pop(_CHECK_ENV, None)
+    else:
+        os.environ[_CHECK_ENV] = check_env
 
 
 def _run_chunk(chunk: list[SweepTask]) -> list[tuple]:
@@ -166,7 +181,9 @@ def run_tasks(tasks: list[SweepTask], jobs: int | None = None,
     # (where, exc_name | None, msg | None, detail) records
     failures: list[tuple] = []
     done = 0
-    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+    with ProcessPoolExecutor(max_workers=min(jobs, total),
+                             initializer=_init_worker,
+                             initargs=(os.environ.get(_CHECK_ENV),)) as pool:
         futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
         pending = set(futures)
         while pending:

@@ -83,6 +83,9 @@ class RunResult:
     store_stall_cycles: int = 0
     async_writebacks: int = 0
     dirty_evictions: int = 0
+    #: protocol invariant evaluations performed (0 unless the checker was
+    #: attached via SimConfig.check_invariants / REPRO_CHECK=1)
+    invariant_checks: int = 0
 
     energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
     periods: list[PeriodStats] = field(default_factory=list)

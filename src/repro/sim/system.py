@@ -342,6 +342,9 @@ class System:
             res.maxline_min = res.maxline_max = design.maxline
         if isinstance(design, WLCache) and design.dynamic_policy is not None:
             res.dyn_raises = design.dynamic_policy.raises
+        checker = getattr(design, "_invariant_checker", None)
+        if checker is not None:
+            res.invariant_checks = checker.checks
         res.final_regs = core.arch_regs
         res.final_memory = nvm.words
         return res

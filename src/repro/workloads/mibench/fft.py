@@ -108,11 +108,12 @@ def _build(inverse: bool, scale: float) -> Program:
             # j = bit_reverse(i)
             b.li(j, 0)
             b.mv(t, i)
-            for _ in range(bits):
+            for step_no in range(bits):
                 b.slli(j, j, 1)
                 b.andi(bit, t, 1)
                 b.or_(j, j, bit)
-                b.srli(t, t, 1)
+                if step_no != bits - 1:  # the last shifted-out t is unused
+                    b.srli(t, t, 1)
             with b.if_(j, ">", i):
                 b.li(pa, base)
                 b.slli(t, i, 2)

@@ -61,8 +61,8 @@ def build(scale: float = 1.0) -> Program:
             b.sw(vi, j, 0)
             b.addi(i, i, 4)
             b.addi(j, j, -4)
-            part.continue_if(i, "<=u", j)
-            part.break_()
+            # fall through to the loop's implicit back-edge when i <= j
+            part.break_if(i, ">u", j)
         # push [lo, j] and [i, hi]
         with b.if_(lo, "<u", j):
             b.sw(lo, sp, 0)

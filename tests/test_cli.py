@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -51,3 +53,39 @@ def test_dynamic_flag(capsys):
 def test_capacitor_override(capsys):
     assert main(["run", "sha", "--scale", "0.2", "--trace", "trace1",
                  "--capacitor-uf", "10"]) == 0
+
+
+def test_lint_text(capsys):
+    assert main(["lint", "--apps", "sha", "qsort", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "2 programs linted, 2 clean" in out
+
+
+def test_lint_json(capsys):
+    assert main(["lint", "--apps", "sha", "--scale", "0.2",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["programs"][0]["program"] == "sha"
+    assert payload["exit_code"] == 0
+
+
+def test_lint_empty_selection_rejected(capsys):
+    assert main(["lint", "--apps"]) == 2
+    assert "no workloads" in capsys.readouterr().err
+
+
+def test_lint_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["lint", "--apps", "doom3"])
+
+
+def test_lint_bad_format_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["lint", "--format", "yaml"])
+
+
+def test_unknown_subcommand_rejected(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["frobnicate"])
+    assert exc.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err

@@ -1,0 +1,192 @@
+"""The WL-Cache protocol invariant checker (repro.lint.invariants).
+
+Three layers of evidence:
+
+* the checker stays *silent* across the workload x design grid (the
+  protocol as implemented upholds its invariants);
+* mutation tests: deliberately breaking the protocol makes the checker
+  *fire* (the assertions have teeth);
+* structure: with checking off, the hot store path is the untouched class
+  method - zero overhead, not merely "fast".
+"""
+
+import os
+
+import pytest
+
+from repro.core.wl_cache import WLCache
+from repro.errors import ConfigError, InvariantViolation
+from repro.lint.invariants import (InvariantChecker, attach_invariants,
+                                   invariants_enabled)
+from repro.mem.nvm import NVMainMemory
+from repro.sim.config import SimConfig
+from repro.sim.factory import build_design, build_system, run_one
+from repro.workloads import ALL_WORKLOADS, build_workload
+
+#: WL-Cache configuration variants the invariants must hold under (§4-§5):
+#: static thresholds, boot-time adaptive, run-time dynamic, and the §5.4
+#: eager-cleanup ablation design.
+VARIANTS = (
+    ("WL-Cache", {"adaptive": False}),
+    ("WL-Cache", {"adaptive": True}),
+    ("WL-Cache", {"adaptive": True, "dynamic": True}),
+    ("WL-Cache", {"adaptive": False, "maxline": 2}),
+    ("WL-Cache(eager)", {"adaptive": False}),
+)
+
+CHECKED = SimConfig(check_invariants=True)
+
+
+def checked_run(workload: str, design: str, scale: float = 0.15,
+                trace: str | None = "trace1", **overrides):
+    prog = build_workload(workload, scale)
+    return run_one(prog, design, trace, CHECKED, **overrides)
+
+
+def make_cache(**overrides) -> WLCache:
+    config = SimConfig().with_(**overrides)
+    nvm = NVMainMemory([0] * 4096, config.nvm)
+    return build_design("WL-Cache", nvm, config)
+
+
+# ----------------------------------------------------------------------
+# the checker is silent on correct protocol runs
+# ----------------------------------------------------------------------
+class TestGrid:
+    @pytest.mark.parametrize("design,overrides", VARIANTS)
+    @pytest.mark.parametrize("workload", ("sha", "qsort"))
+    def test_reduced_grid(self, workload, design, overrides):
+        res = checked_run(workload, design, **overrides)
+        assert res.halted
+        assert res.invariant_checks > 0
+
+    @pytest.mark.skipif(not os.environ.get("REPRO_TIER2"),
+                        reason="full grid is tier-2 (set REPRO_TIER2=1)")
+    @pytest.mark.parametrize("design,overrides", VARIANTS)
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS)
+    def test_full_grid(self, workload, design, overrides):
+        res = checked_run(workload, design, scale=0.2, **overrides)
+        assert res.halted
+        assert res.invariant_checks > 0
+
+    def test_counts_are_deterministic(self):
+        a = checked_run("sha", "WL-Cache")
+        b = checked_run("sha", "WL-Cache")
+        assert a.invariant_checks == b.invariant_checks
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# mutation: broken protocol -> checker fires
+# ----------------------------------------------------------------------
+class TestMutations:
+    def test_broken_maxline_enforcement_detected(self, monkeypatch):
+        # Lobotomize the §5.1 stall logic: stores no longer wait for a
+        # DirtyQueue slot, so occupancy runs past maxline - exactly the
+        # state whose impossibility sizes the Vbackup reserve.
+        # waterline == maxline so the early asynchronous drain cannot mask
+        # the missing stall: the third dirty line overruns maxline=2
+        monkeypatch.setattr(WLCache, "_ensure_slot", lambda self, t: 0)
+        prog = build_workload("sha", 0.15)
+        system = build_system(prog, "WL-Cache", None, CHECKED,
+                              adaptive=False, maxline=2, waterline=2)
+        with pytest.raises(InvariantViolation, match="I00[12]"):
+            system.run()
+
+    def test_unmutated_twin_passes(self):
+        # the same configuration without the mutation runs clean
+        res = checked_run("sha", "WL-Cache", trace=None,
+                          adaptive=False, maxline=2, waterline=2)
+        assert res.halted and res.invariant_checks > 0
+
+    def test_dirty_line_without_queue_entry_detected(self):
+        cache = make_cache()
+        checker = attach_invariants(cache)
+        cache.store(0x1000, 7, 0)
+        cache.dq.clear()  # line stays dirty; its coverage entry is gone
+        with pytest.raises(InvariantViolation, match="I003"):
+            checker.check_store_state()
+
+    def test_pending_entry_eviction_detected(self):
+        cache = make_cache(waterline=0)  # every dirty line issues a WB
+        checker = attach_invariants(cache)
+        cache.store(0x1000, 7, 0)
+        assert cache.pending, "waterline=0 must issue a write-back"
+        cache.dq.clear()  # ACK has not arrived: entry must have stayed
+        with pytest.raises(InvariantViolation, match="I004"):
+            checker.check_store_state()
+
+    def test_incomplete_flush_detected(self):
+        cache = make_cache()
+        checker = attach_invariants(cache)
+        cache.store(0x1000, 7, 0)
+        with pytest.raises(InvariantViolation, match="I006"):
+            checker.check_flushed_state()  # nothing was flushed
+
+    def test_bad_reconfiguration_detected(self, monkeypatch):
+        cache = make_cache()
+        attach_invariants(cache)
+        # with the ConfigError guard disarmed, the invariant layer is the
+        # last line of defense against waterline > maxline
+        monkeypatch.setattr(WLCache, "_check_thresholds",
+                            lambda self, m, w: None)
+        with pytest.raises(InvariantViolation, match="I005"):
+            cache.set_thresholds(2, 5)
+
+    def test_config_guard_still_first(self):
+        cache = make_cache()
+        attach_invariants(cache)
+        with pytest.raises(ConfigError):
+            cache.set_thresholds(99)
+
+
+# ----------------------------------------------------------------------
+# attachment mechanics and the off switch
+# ----------------------------------------------------------------------
+class TestAttachment:
+    def test_off_means_untouched_class_methods(self):
+        # zero-cost-when-off is structural: no wrapper shadows the class
+        # implementation, so the hot path runs the exact same bytecode as
+        # a build without the checker compiled in
+        prog = build_workload("sha", 0.15)
+        system = build_system(prog, "WL-Cache", None)
+        for name in ("store_masked", "set_thresholds",
+                     "flush_for_checkpoint"):
+            assert name not in vars(system.design)
+        res = system.run()
+        assert res.invariant_checks == 0
+
+    def test_on_shadows_instance_attributes(self):
+        cache = make_cache()
+        checker = attach_invariants(cache)
+        assert isinstance(checker, InvariantChecker)
+        assert cache._invariant_checker is checker
+        for name in ("store_masked", "set_thresholds",
+                     "flush_for_checkpoint"):
+            assert name in vars(cache)
+
+    def test_store_delegates_through_wrapper(self):
+        cache = make_cache()
+        checker = attach_invariants(cache)
+        cache.store(0x1000, 7, 0)  # plain store must hit the wrapper too
+        assert checker.checks == 1
+
+    def test_non_wlcache_designs_ignored(self):
+        config = SimConfig()
+        nvm = NVMainMemory([0] * 4096, config.nvm)
+        assert attach_invariants(build_design("NVSRAM(ideal)",
+                                              nvm, config)) is None
+
+    def test_env_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        assert not invariants_enabled()
+        monkeypatch.setenv("REPRO_CHECK", "0")
+        assert not invariants_enabled()
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert invariants_enabled()
+        res = run_one(build_workload("sha", 0.15), "WL-Cache", "trace1")
+        assert res.invariant_checks > 0
+
+    def test_config_flag_attaches(self):
+        res = checked_run("sha", "WL-Cache", trace=None)
+        assert res.invariant_checks > 0

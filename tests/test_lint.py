@@ -1,0 +1,256 @@
+"""The program linter: rule detection, CFG precision, suite cleanliness."""
+
+import json
+
+import pytest
+
+from repro.isa import opcodes as oc
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.lint import RULES, count_by_severity, lint_program, lint_workloads
+from repro.lint.cfg import build_cfg
+from repro.lint.findings import ERROR, WARNING, make_finding
+from repro.lint.runner import (EXIT_CLEAN, EXIT_ERRORS, EXIT_WARNINGS,
+                               exit_code, format_findings_json,
+                               format_findings_text)
+from repro.workloads import ALL_WORKLOADS, build_workload
+
+
+def rules_hit(prog: Program) -> set[str]:
+    return {f.rule for f in lint_program(prog)}
+
+
+def lint_asm(text: str) -> set[str]:
+    return rules_hit(assemble(text))
+
+
+# ----------------------------------------------------------------------
+# seeded defects: each rule must catch its textbook instance
+# ----------------------------------------------------------------------
+class TestSeededDefects:
+    def test_uninit_read(self):
+        assert "L001" in lint_asm("""
+            add t2, t0, t1
+            halt
+        """)
+
+    def test_dead_store(self):
+        assert "L002" in lint_asm("""
+            li t0, 42
+            halt
+        """)
+
+    def test_unreachable_block(self):
+        assert "L003" in lint_asm("""
+            j end
+            li t0, 1
+        end:
+            halt
+        """)
+
+    def test_bad_branch_target(self):
+        # Program.validate() refuses this, so build the tuples directly
+        prog = Program("bad", [(oc.BEQ, 0, 0, 99), (oc.HALT, 0, 0, 0)])
+        assert "L004" in rules_hit(prog)
+
+    def test_bad_jump_target(self):
+        prog = Program("bad", [(oc.JAL, 0, -3, 0), (oc.HALT, 0, 0, 0)])
+        assert "L004" in rules_hit(prog)
+
+    def test_misaligned_access(self):
+        assert "L005" in lint_asm("""
+            li t0, 0x1002
+            lw t1, 0(t0)
+            halt
+        """)
+
+    def test_misaligned_through_offset(self):
+        assert "L005" in lint_asm("""
+            li t0, 0x1000
+            sh t1, 3(t0)
+            halt
+        """)
+
+    def test_out_of_bounds(self):
+        hits = lint_asm(f"""
+            li t0, {1 << 20}
+            lw t1, 0(t0)
+            halt
+        """)
+        assert "L006" in hits
+
+    def test_fall_off_end(self):
+        prog = Program("nohalt", [(oc.ADDI, 3, 0, 1)])
+        assert "L007" in rules_hit(prog)
+
+    def test_zero_page_access(self):
+        assert "L008" in lint_asm("""
+            li t0, 0x10
+            lw t1, 0(t0)
+            halt
+        """)
+
+
+# ----------------------------------------------------------------------
+# precision: idioms that must NOT fire
+# ----------------------------------------------------------------------
+class TestNoFalsePositives:
+    def test_clean_straight_line(self):
+        assert lint_asm("""
+            li t0, 0x1000
+            li t1, 7
+            sw t1, 0(t0)
+            lw t2, 4(t0)
+            add t2, t2, t1
+            sw t2, 4(t0)
+            halt
+        """) == set()
+
+    def test_x0_reads_and_writes_exempt(self):
+        # j is jal zero,...; discards into zero are idiomatic
+        assert lint_asm("""
+            li t0, 0x1000
+            add zero, t0, zero
+            sw zero, 0(t0)
+            halt
+        """) == set()
+
+    def test_loop_carried_value_not_dead(self):
+        assert lint_asm("""
+            li t0, 10
+            li t1, 0x1000
+        loop:
+            addi t0, t0, -1
+            bne t0, zero, loop
+            sw t0, 0(t1)
+            halt
+        """) == set()
+
+    def test_values_flow_through_calls(self):
+        # t0 is defined before the call and read after: facts must travel
+        # through the callee, so neither L001 nor L002 may fire
+        assert lint_asm("""
+            li t0, 0x1000
+            call fn
+            sw t1, 0(t0)
+            halt
+        fn:
+            li t1, 5
+            ret
+        """) == set()
+
+    def test_unknown_address_not_flagged(self):
+        # the base register comes from memory: no constant, no L005/L006
+        assert lint_asm("""
+            li t0, 0x1000
+            lw t1, 0(t0)
+            lw t2, 0(t1)
+            sw t2, 4(t0)
+            halt
+        """) == set()
+
+    def test_conditional_join_loses_constness(self):
+        # t0 is 0x1001 on one path and 0x1000 on the other: the join must
+        # discard the constant instead of flagging either value
+        assert lint_asm("""
+            li t1, 1
+            li t0, 0x1000
+            beq t1, zero, even
+            addi t0, t0, 1
+        even:
+            andi t0, t0, -4
+            lw t2, 0(t0)
+            sw t2, 4(t0)
+            halt
+        """) == set()
+
+
+# ----------------------------------------------------------------------
+# CFG construction details the rules depend on
+# ----------------------------------------------------------------------
+class TestCFG:
+    def test_call_edges_go_through_callee(self):
+        prog = assemble("""
+            call fn
+            halt
+        fn:
+            ret
+        """)
+        cfg = build_cfg(prog.instructions)
+        assert cfg.succs[0] == [2]      # call -> callee entry only
+        assert cfg.succs[2] == [1]      # ret -> the return site
+        assert cfg.return_sites == [1]
+        assert all(cfg.reachable)
+
+    def test_halt_terminates_paths(self):
+        prog = assemble("halt")
+        cfg = build_cfg(prog.instructions)
+        assert cfg.succs[0] == []
+        assert cfg.falls_off_end == []
+
+    def test_conditional_branch_at_end_falls_off(self):
+        prog = Program("p", [(oc.BEQ, 0, 0, 0)])
+        cfg = build_cfg(prog.instructions)
+        assert cfg.falls_off_end == [0]
+
+    def test_unreachable_marked_on_blocks(self):
+        prog = assemble("""
+            j end
+            li t0, 1
+            li t0, 2
+        end:
+            halt
+        """)
+        cfg = build_cfg(prog.instructions)
+        assert [b.reachable for b in cfg.blocks] == [True, False, True]
+
+
+# ----------------------------------------------------------------------
+# the suite itself and the reporting plumbing
+# ----------------------------------------------------------------------
+class TestSuiteAndReporting:
+    def test_all_suite_kernels_clean(self):
+        results = lint_workloads(scale=0.2)
+        dirty = {w: [f.render() for f in fs]
+                 for w, fs in results.items() if fs}
+        assert dirty == {}
+        assert set(results) == set(ALL_WORKLOADS)
+
+    def test_exit_codes(self):
+        clean = assemble("halt")
+        warn = assemble("j end\nli t0, 1\nend:\nhalt")
+        err = Program("bad", [(oc.BEQ, 0, 0, 99), (oc.HALT, 0, 0, 0)])
+        assert exit_code({"a": lint_program(clean)}) == EXIT_CLEAN
+        assert exit_code({"a": lint_program(warn)}) == EXIT_WARNINGS
+        assert exit_code({"a": lint_program(err),
+                          "b": lint_program(warn)}) == EXIT_ERRORS
+
+    def test_text_format(self):
+        results = {"p": [make_finding("L001", "p@3", "reads t0")]}
+        text = format_findings_text(results)
+        assert "p@3: error: [L001 uninit-read] reads t0" in text
+        assert "1 programs linted, 0 clean" in text
+
+    def test_json_format_round_trips(self):
+        prog = build_workload("sha", 0.2)
+        results = {"sha": lint_program(prog)}
+        payload = json.loads(format_findings_json(results))
+        assert payload["programs"][0]["program"] == "sha"
+        assert payload["totals"] == {"error": 0, "warning": 0, "info": 0}
+        assert payload["exit_code"] == EXIT_CLEAN
+
+    def test_rule_registry_severities(self):
+        assert RULES["L001"].severity == ERROR
+        assert RULES["L002"].severity == WARNING
+        assert len(RULES) == 8
+        counts = count_by_severity([make_finding("L001", "x", "m"),
+                                    make_finding("L003", "x", "m")])
+        assert counts == {"error": 1, "warning": 1, "info": 0}
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(KeyError):
+            make_finding("L999", "x", "m")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            lint_workloads(["nonesuch"])

@@ -74,6 +74,30 @@ class TestBitExactness:
         assert serial == par
 
 
+class TestInvariantPropagation:
+    def test_repro_check_reaches_workers(self, monkeypatch):
+        # the invariant-checking switch must be re-exported into pool
+        # workers: a checked parallel sweep that silently ran unchecked
+        # would defeat the whole point of REPRO_CHECK=1 in CI
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        par = run_grid_parallel(APPS, ("WL-Cache",), "trace1",
+                                scale=0.15, jobs=2)
+        assert len(par) == len(APPS)
+        assert all(r.invariant_checks > 0 for r in par.values())
+
+    def test_checked_parallel_equals_checked_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        serial = run_grid(APPS, ("WL-Cache",), "trace1", scale=0.15, jobs=1)
+        par = run_grid_parallel(APPS, ("WL-Cache",), "trace1",
+                                scale=0.15, jobs=2)
+        assert serial == par
+
+    def test_unchecked_workers_stay_unchecked(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        par = run_grid_parallel(APPS, ("WL-Cache",), None, scale=0.1, jobs=2)
+        assert all(r.invariant_checks == 0 for r in par.values())
+
+
 class TestFailureReporting:
     def test_worker_failure_names_the_run(self):
         # maxline=99 exceeds the DirtyQueue capacity: every WL-Cache run

@@ -1,10 +1,13 @@
-"""Property tests: interpreter ALU ops match Python reference semantics."""
+"""Property tests: interpreter ALU ops match Python reference semantics,
+and the disassembler's ``to_asm`` round-trips through the assembler."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cpu.core import InOrderCore
 from repro.isa import opcodes as oc
+from repro.isa.assembler import assemble
+from repro.isa.disasm import to_asm
 from repro.isa.program import Program
 from repro.verify.oracle import FunctionalMemory
 
@@ -87,3 +90,63 @@ def test_mulh_mul_compose_64bit(a):
     hi = run_binop(oc.MULH, a, 2)
     value = (s32(hi) << 32) | lo
     assert value == s32(a) * 2
+
+
+# ----------------------------------------------------------------------
+# disassembler round trip: assemble(to_asm(p)) == p
+# ----------------------------------------------------------------------
+regs = st.integers(0, 31)
+imm12 = st.integers(-2048, 2047)
+
+
+@st.composite
+def instruction(draw, n: int):
+    """One valid instruction for a program of length ``n``."""
+    target = st.integers(0, n - 1)
+    fmt = draw(st.sampled_from(["R", "I", "LI", "LOAD", "STORE",
+                                "B", "J", "JR", "SYS"]))
+    if fmt == "R":
+        return (draw(st.sampled_from(sorted(oc.R_FORMAT))),
+                draw(regs), draw(regs), draw(regs))
+    if fmt == "I":
+        return (draw(st.sampled_from(sorted(oc.I_FORMAT))),
+                draw(regs), draw(regs), draw(imm12))
+    if fmt == "LI":
+        return (oc.LI, draw(regs), draw(u32s), 0)
+    if fmt == "LOAD":
+        return (draw(st.sampled_from(sorted(oc.LOAD_FORMAT))),
+                draw(regs), draw(regs), draw(imm12))
+    if fmt == "STORE":
+        return (draw(st.sampled_from(sorted(oc.STORE_FORMAT))),
+                draw(regs), draw(regs), draw(imm12))
+    if fmt == "B":
+        return (draw(st.sampled_from(sorted(oc.B_FORMAT))),
+                draw(regs), draw(regs), draw(target))
+    if fmt == "J":
+        return (oc.JAL, draw(regs), draw(target), 0)
+    if fmt == "JR":
+        return (oc.JALR, draw(regs), draw(regs), draw(imm12))
+    return (draw(st.sampled_from(sorted(oc.SYS_FORMAT))), 0, 0, 0)
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(2, 16))
+    instrs = [draw(instruction(n)) for _ in range(n - 1)]
+    instrs.append((oc.HALT, 0, 0, 0))
+    data = draw(st.dictionaries(st.integers(0, 4095), u32s, max_size=8))
+    symbols = draw(st.dictionaries(
+        st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True),
+        st.integers(0, 1 << 20), max_size=3))
+    return Program("prop", instrs, data=data, symbols=symbols)
+
+
+@settings(max_examples=80, deadline=None)
+@given(prog=programs())
+def test_to_asm_round_trips(prog):
+    """``assemble(to_asm(p))`` reproduces instructions, data, symbols."""
+    back = assemble(to_asm(prog), name=prog.name, mem_bytes=prog.mem_bytes)
+    assert back.instructions == prog.instructions
+    assert back.data == prog.data
+    assert back.symbols == prog.symbols
+    assert back.mem_bytes == prog.mem_bytes
