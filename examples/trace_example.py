@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Event tracing: record a run's micro-level behavior and export it.
+
+Runs Dijkstra on WL-Cache under the RF-home power trace with the
+observability layer attached (``SimConfig(trace=True)``), then:
+
+* prints the terminal timeline summary (where the run stalled, charged,
+  checkpointed);
+* shows headline metrics - stall cycles by cause, DirtyQueue occupancy
+  and write-back latency histograms, energy per outage;
+* writes ``trace.json`` for https://ui.perfetto.dev / chrome://tracing.
+
+Equivalent CLI: ``python -m repro trace dijkstra wl trace1``
+
+    python examples/trace_example.py
+"""
+
+from repro import build_system, get_workload
+from repro.obs import timeline_summary, write_chrome
+from repro.sim.config import SimConfig
+
+
+def main(out: str = "trace.json") -> None:
+    program = get_workload("dijkstra").build()
+    system = build_system(program, "WL-Cache", trace="trace1",
+                          config=SimConfig(trace=True))
+    result = system.run()
+
+    recorder = system._trace_recorder
+    print(result.summary())
+    print()
+    print(timeline_summary(recorder.events, result.metrics), end="")
+
+    counters = result.metrics["counters"]
+    wb_lat = result.metrics["histograms"]["wb.latency_ns"]
+    print()
+    print(f"stall cycles: {counters['cache.stall_cycles.ack_wait']} waiting "
+          f"on ACKs, {counters['cache.stall_cycles.sync_clean']} on "
+          f"synchronous cleans")
+    if wb_lat["count"]:
+        print(f"write-back latency: mean "
+              f"{wb_lat['sum'] / wb_lat['count']:.0f} ns, "
+              f"max {wb_lat['max']:.0f} ns over {wb_lat['count']} ACKs")
+
+    write_chrome(recorder.events, out,
+                 meta={"program": program.name, "design": "WL-Cache",
+                       "trace": "trace1"})
+    print(f"\nwrote {out} ({len(recorder.events)} events) - open it at "
+          f"https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,8 @@ def result_to_dict(result: RunResult, include_periods: bool = True) -> dict:
              "async_writebacks": p.async_writebacks, "maxline": p.maxline}
             for p in result.periods
         ]
+    if result.metrics is not None:
+        out["metrics"] = result.metrics
     return out
 
 
@@ -69,6 +71,7 @@ def result_from_dict(data: dict) -> RunResult:
             on_time_ns=p["on_time_ns"], instrs=p["instrs"],
             dirty_highwater=p["dirty_highwater"],
             async_writebacks=p["async_writebacks"], maxline=p["maxline"]))
+    result.metrics = data.get("metrics")
     return result
 
 

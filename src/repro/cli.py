@@ -10,6 +10,9 @@ Commands:
   dataflow: uninitialized reads, dead stores, unreachable code, bad
   branch targets, misaligned/out-of-bounds accesses). Exit code 0 when
   clean, 1 with warnings, 2 with error-severity findings.
+* ``trace <app> <design> <trace>`` - run with the observability layer
+  attached and export the event trace as Chrome/Perfetto ``trace.json``
+  (plus optional CSV/text), with a terminal timeline summary.
 * ``list`` - list available workloads, designs, and traces.
 
 Examples::
@@ -17,6 +20,7 @@ Examples::
     python -m repro run sha --design WL-Cache --trace trace1
     python -m repro run qsort --trace trace2 --maxline 4 --static
     python -m repro compare adpcmencode --trace trace2
+    python -m repro trace dijkstra wl trace1 --out trace.json
     python -m repro lint --format json
     python -m repro plot results/fig05_trace1.csv
     python -m repro list
@@ -190,6 +194,76 @@ def cmd_lint(args) -> int:
     return exit_code(results)
 
 
+#: Short design aliases accepted by ``repro trace`` (the full names carry
+#: shell-hostile parentheses); exact names from ALL_DESIGNS work too.
+DESIGN_ALIASES = {
+    "wl": "WL-Cache",
+    "wlcache": "WL-Cache",
+    "wleager": "WL-Cache(eager)",
+    "nvsram": "NVSRAM(ideal)",
+    "nvsramfull": "NVSRAM(full)",
+    "nvsrampractical": "NVSRAM(practical)",
+    "nvcache": "NVCache-WB",
+    "vcache": "VCache-WT",
+    "replay": "ReplayCache",
+    "wtbuffer": "WT+Buffer",
+    "nocache": "NoCache",
+}
+
+
+def resolve_design(name: str) -> str:
+    """Map a CLI design name or alias to its canonical design name."""
+    if name in ALL_DESIGNS:
+        return name
+    alias = name.lower().replace("-", "").replace("_", "")
+    if alias in DESIGN_ALIASES:
+        return DESIGN_ALIASES[alias]
+    raise SystemExit(
+        f"repro trace: unknown design {name!r}; use one of "
+        f"{', '.join(sorted(DESIGN_ALIASES))} or an exact design name "
+        f"({', '.join(ALL_DESIGNS)})")
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.export import (timeline_summary, write_chrome, write_csv,
+                                  write_text)
+    from repro.sim.config import SimConfig
+
+    design = resolve_design(args.design)
+    overrides = {"trace": True}
+    if args.maxline is not None:
+        overrides["maxline"] = args.maxline
+    if args.seed is not None:
+        overrides["trace_seed"] = args.seed
+    config = SimConfig(**overrides)
+    power = None if args.power_trace == "none" else args.power_trace
+    program = build_workload(args.workload, args.scale)
+    system = build_system(program, design, trace=power, config=config)
+    if not args.detail:
+        system._trace_recorder.detail = False
+    result = system.run()
+    events = system._trace_recorder.events
+    meta = {"program": program.name, "design": design,
+            "trace": power or "no-failure"}
+    write_chrome(events, args.out, meta)
+    print(f"wrote {args.out} ({len(events)} events) - load it at "
+          f"https://ui.perfetto.dev or chrome://tracing")
+    if args.csv:
+        write_csv(events, args.csv)
+        print(f"wrote {args.csv}")
+    if args.text:
+        write_text(events, args.text)
+        print(f"wrote {args.text}")
+    print()
+    print(result.summary())
+    print()
+    print(timeline_summary(events, result.metrics), end="")
+    if args.stats_json:
+        from repro.analysis.stats_io import save_result
+        print(f"stats written to {save_result(result, args.stats_json)}")
+    return 0
+
+
 def cmd_list(args) -> int:
     print("workloads:", ", ".join(ALL_WORKLOADS))
     print("designs:  ", ", ".join(ALL_DESIGNS))
@@ -242,6 +316,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_trace = sub.add_parser(
+        "trace", help="record an event trace and export it for Perfetto")
+    p_trace.add_argument("workload", choices=ALL_WORKLOADS)
+    p_trace.add_argument("design",
+                         help="design name or alias (e.g. wl, nvsram)")
+    p_trace.add_argument("power_trace", metavar="trace",
+                         choices=sorted(TRACE_FACTORIES) + ["none"],
+                         help="power trace ('none' for a failure-free run)")
+    p_trace.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="Chrome/Perfetto trace output (default: "
+                              "trace.json)")
+    p_trace.add_argument("--csv", default=None, metavar="PATH",
+                         help="also write the events as CSV")
+    p_trace.add_argument("--text", default=None, metavar="PATH",
+                         help="also write the golden one-line-per-event form")
+    p_trace.add_argument("--scale", type=float, default=1.0,
+                         help="workload size multiplier")
+    p_trace.add_argument("--maxline", type=int, default=None)
+    p_trace.add_argument("--seed", type=int, default=None, help="trace seed")
+    p_trace.add_argument("--no-detail", dest="detail", action="store_false",
+                         help="omit per-access hit events (long runs)")
+    p_trace.add_argument("--stats-json", default=None, metavar="PATH",
+                         help="dump run statistics (incl. metrics) as JSON")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_plot = sub.add_parser("plot", help="render a bench CSV to SVG")
     p_plot.add_argument("csv", help="a bench CSV, or a results directory to render everything")

@@ -110,13 +110,18 @@ class WLCache(CachedMemorySystem):
         while pending and pending[0].ack <= now:
             self._retire_pending(pending[0])
 
-    def _issue_writeback(self, t: int) -> None:
-        """Clean one dirty line asynchronously (§5.3 steps 1-2)."""
+    def _issue_writeback(self, t: int) -> PendingWB | None:
+        """Clean one dirty line asynchronously (§5.3 steps 1-2).
+
+        Returns the issued :class:`PendingWB`, or None when every dirty
+        line is already in flight (observers rely on the return value
+        rather than peeking at ``pending``).
+        """
         if self.dq.policy == DQ_LRU:
             self.stats.cache_write_energy_nj += self.dq_lru_extra_energy_nj
         entry = self.dq.select_victim(self.array)
         if entry is None:
-            return
+            return None
         line = self.array.peek(entry.lineno << self.array.line_shift)
         line.dirty = False  # step 1: mark clean BEFORE the write-back
         entry.in_flight = True
@@ -124,9 +129,10 @@ class WLCache(CachedMemorySystem):
         ack = max(t, self._channel_free) + self.nvm.timings.line_write(
             len(line.data))
         self._channel_free = ack
-        self.pending.append(PendingWB(ack, entry.lineno, addr,
-                                      list(line.data), entry))
+        p = PendingWB(ack, entry.lineno, addr, list(line.data), entry)
+        self.pending.append(p)
         self.stats.async_writebacks += 1
+        return p
 
     def _ensure_slot(self, t: int) -> int:
         """Make room in the DirtyQueue for one new dirty line (§5.1).

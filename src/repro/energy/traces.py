@@ -52,7 +52,15 @@ class PowerTrace:
             pass
 
     def _seek(self, t_ns: int) -> int:
-        """Index of the segment containing ``t_ns``."""
+        """Index of the segment containing ``t_ns``.
+
+        Negative times raise: ``bisect_right - 1`` would return ``-1``,
+        which Python indexing silently wraps to the *last* segment, so an
+        unguarded query would integrate the wrong segment's power (the
+        off-by-one-segment trap every caller of this method shares).
+        """
+        if t_ns < 0:
+            raise TraceError("negative time")
         self._ensure(t_ns)
         i = self._idx
         starts = self.starts
@@ -70,8 +78,6 @@ class PowerTrace:
     # -- queries -------------------------------------------------------
     def power_w(self, t_ns: int) -> float:
         """Instantaneous harvested power at time ``t_ns``."""
-        if t_ns < 0:
-            raise TraceError("negative time")
         return self.powers[self._seek(t_ns)]
 
     def energy_nj(self, t0_ns: int, t1_ns: int) -> float:

@@ -1,0 +1,117 @@
+"""Typed trace events and the event schema (the observability vocabulary).
+
+Every event the :class:`~repro.obs.recorder.TraceRecorder` emits is one of
+the types declared in :data:`EVENT_SCHEMA`. The schema is the single source
+of truth consumed by the exporters (component -> Perfetto track, kind ->
+Chrome trace phase), by the golden-trace text format, and by the docs table
+in ``docs/observability.md``.
+
+Timestamps are wall-clock nanoseconds on the simulated timeline (power-off
+periods included), so a trace lines up with ``RunResult.total_time_ns``.
+The recorder clamps timestamps monotone non-decreasing per component -
+Perfetto requires per-track monotonicity, and the Hypothesis property suite
+asserts the guarantee.
+"""
+
+from __future__ import annotations
+
+# components (one Perfetto track each)
+CORE = "core"
+CACHE = "cache"
+WB = "wb"
+POWER = "power"
+SYS = "sys"
+
+COMPONENTS = (CORE, CACHE, WB, POWER, SYS)
+
+# event kinds (mapped to Chrome trace-event phases by the exporter)
+INSTANT = "instant"        # ph "i"
+COUNTER = "counter"        # ph "C"
+SPAN = "span"              # ph "X" (complete event; args carry the duration)
+DUR_BEGIN = "span_begin"   # ph "B"
+DUR_END = "span_end"       # ph "E"
+ASYNC_BEGIN = "begin"      # ph "b"
+ASYNC_END = "end"          # ph "e"
+
+#: etype -> (component, kind, arg names, description). Arg order is the
+#: golden-trace/CSV column order; keep it stable - goldens depend on it.
+EVENT_SCHEMA: dict[str, tuple[str, str, tuple[str, ...], str]] = {
+    "retire": (CORE, COUNTER, ("instret", "cycle"),
+               "instruction-retire sample at a chunk boundary"),
+    "read_hit": (CACHE, INSTANT, ("addr",),
+                 "load hit in the L1 array (detail level only)"),
+    "read_miss": (CACHE, INSTANT, ("addr",),
+                  "load miss: fill from NVM (plus possible eviction)"),
+    "write_hit": (CACHE, INSTANT, ("addr",),
+                  "store hit in the L1 array (detail level only)"),
+    "write_miss": (CACHE, INSTANT, ("addr",),
+                   "store miss (write-allocate designs fill first)"),
+    "dirty": (CACHE, COUNTER, ("occ",),
+              "DirtyQueue occupancy after a change"),
+    "stall_begin": (CACHE, DUR_BEGIN, (),
+                    "store started stalling for a DirtyQueue slot (S5.1)"),
+    "stall_end": (CACHE, DUR_END, ("cycles", "cause"),
+                  "stall over; cause is ack_wait or sync_clean"),
+    "wb_issue": (WB, ASYNC_BEGIN, ("line", "ack", "seq"),
+                 "asynchronous write-back issued (S5.3 steps 1-2)"),
+    "wb_ack": (WB, ASYNC_END, ("line", "seq"),
+               "write-back ACK retired its DirtyQueue entry (S5.3 step 4)"),
+    "reconfig": (SYS, INSTANT, ("maxline", "waterline"),
+                 "maxline/waterline thresholds reconfigured (S4)"),
+    "ckpt_flush": (SYS, SPAN, ("cycles", "lines", "words"),
+                   "JIT checkpoint flushed the DirtyQueue lines (S3.2)"),
+    "boot": (SYS, INSTANT, ("first", "restore_cycles"),
+             "(re)boot completed; design state restored"),
+    "off": (POWER, SPAN, ("dur",),
+            "power-off period: outage through recharge to Von"),
+    "energy": (POWER, COUNTER, ("nj",),
+               "capacitor stored-energy sample at a chunk boundary"),
+}
+
+
+class TraceEvent:
+    """One timestamped, typed event.
+
+    ``args`` is a small dict whose keys are exactly the schema's arg names
+    for ``etype``; ``ts`` is wall-clock ns.
+    """
+
+    __slots__ = ("ts", "etype", "args")
+
+    def __init__(self, ts: int, etype: str, args: dict):
+        self.ts = ts
+        self.etype = etype
+        self.args = args
+
+    @property
+    def component(self) -> str:
+        return EVENT_SCHEMA[self.etype][0]
+
+    @property
+    def kind(self) -> str:
+        return EVENT_SCHEMA[self.etype][1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.ts}, {self.etype!r}, {self.args!r})"
+
+
+def format_event(ev: TraceEvent) -> str:
+    """Canonical one-line text form (the golden-trace format).
+
+    ``<ts> <component> <etype> k=v ...`` with args in schema order, so the
+    line is stable across dict orderings and Python versions.
+    """
+    names = EVENT_SCHEMA[ev.etype][2]
+    parts = [str(ev.ts), ev.component, ev.etype]
+    for name in names:
+        v = ev.args.get(name)
+        if isinstance(v, float):
+            parts.append(f"{name}={v:.3f}")
+        else:
+            parts.append(f"{name}={v}")
+    return " ".join(parts)
+
+
+def format_events(events: list[TraceEvent]) -> str:
+    """The whole trace in golden format, one event per line."""
+    return "\n".join(format_event(e) for e in events) + "\n"

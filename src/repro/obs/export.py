@@ -1,0 +1,285 @@
+"""Exporters for recorded traces: Chrome/Perfetto JSON, CSV, terminal.
+
+The Chrome trace-event JSON (load it at https://ui.perfetto.dev or
+``chrome://tracing``) maps each component to its own thread track and each
+event kind to the matching phase:
+
+========  ==  =========================================================
+kind      ph  rendering
+========  ==  =========================================================
+instant   i   a tick on the component's track
+counter   C   a counter track (retire/energy/dirty-occupancy curves)
+span      X   a complete slice with duration (off periods, ckpt flushes)
+span_beg  B   an open slice on the track (stalls) ...
+span_end  E   ... closed by the matching E
+begin     b   an async arrow (write-back in flight) ...
+end       e   ... terminated by the matching e (paired by ``seq``)
+========  ==  =========================================================
+
+Timestamps convert from simulated ns to the format's microseconds.
+:func:`validate_chrome_trace` is a self-contained structural validator
+(no jsonschema dependency) used by tests and the CI trace-smoke job via
+``python -m repro.obs.validate``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.obs.events import (
+    ASYNC_BEGIN,
+    ASYNC_END,
+    COMPONENTS,
+    COUNTER,
+    DUR_BEGIN,
+    DUR_END,
+    EVENT_SCHEMA,
+    INSTANT,
+    SPAN,
+    TraceEvent,
+    format_event,
+)
+
+_PID = 1
+_TID = {name: i + 1 for i, name in enumerate(COMPONENTS)}
+
+_PH = {
+    INSTANT: "i",
+    COUNTER: "C",
+    SPAN: "X",
+    DUR_BEGIN: "B",
+    DUR_END: "E",
+    ASYNC_BEGIN: "b",
+    ASYNC_END: "e",
+}
+
+
+def _us(ts_ns: float) -> float:
+    return ts_ns / 1000.0
+
+
+def to_chrome(events: list[TraceEvent], meta: dict | None = None) -> dict:
+    """Convert events to a Chrome trace-event JSON object."""
+    out: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": _PID, "ts": 0,
+         "args": {"name": "repro-sim"}},
+    ]
+    for name, tid in _TID.items():
+        out.append({"ph": "M", "name": "thread_name", "pid": _PID,
+                    "tid": tid, "ts": 0, "args": {"name": name}})
+    for ev in events:
+        component, kind, _names, _desc = EVENT_SCHEMA[ev.etype]
+        rec = {
+            "ph": _PH[kind],
+            "name": ev.etype,
+            "ts": _us(ev.ts),
+            "pid": _PID,
+            "tid": _TID[component],
+        }
+        if kind == COUNTER:
+            rec["args"] = {k: v for k, v in ev.args.items()
+                           if isinstance(v, (int, float))}
+        elif kind == SPAN:
+            args = dict(ev.args)
+            # off spans carry their duration in ns; ckpt flushes in cycles
+            dur_ns = args.get("dur", args.get("cycles", 0))
+            rec["dur"] = _us(dur_ns)
+            rec["args"] = args
+        elif kind in (ASYNC_BEGIN, ASYNC_END):
+            rec["cat"] = component
+            rec["id"] = str(ev.args.get("seq", 0))
+            rec["name"] = "writeback"
+            rec["args"] = dict(ev.args)
+        else:
+            if kind == INSTANT:
+                rec["s"] = "t"
+            rec["args"] = dict(ev.args)
+        out.append(rec)
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ns",
+        "otherData": dict(meta or {}),
+    }
+
+
+def write_chrome(events: list[TraceEvent], path,
+                 meta: dict | None = None) -> None:
+    with open(path, "w") as fh:
+        json.dump(to_chrome(events, meta), fh)
+        fh.write("\n")
+
+
+def to_csv(events: list[TraceEvent]) -> str:
+    """Flat CSV: ``ts_ns,component,event,args`` (args in schema order)."""
+    buf = io.StringIO()
+    w = csv.writer(buf, lineterminator="\n")
+    w.writerow(["ts_ns", "component", "event", "args"])
+    for ev in events:
+        names = EVENT_SCHEMA[ev.etype][2]
+        args = " ".join(f"{k}={ev.args.get(k)}" for k in names)
+        w.writerow([ev.ts, ev.component, ev.etype, args])
+    return buf.getvalue()
+
+
+def write_csv(events: list[TraceEvent], path) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_csv(events))
+
+
+def write_text(events: list[TraceEvent], path) -> None:
+    """Golden text format, one event per line (see events.format_event)."""
+    with open(path, "w") as fh:
+        for ev in events:
+            fh.write(format_event(ev))
+            fh.write("\n")
+
+
+def timeline_summary(events: list[TraceEvent], metrics: dict | None = None,
+                     width: int = 64) -> str:
+    """Human-readable run overview for the terminal.
+
+    A bucketed strip shows where the run spent its time (``#`` running,
+    ``.`` power-off dominated, ``!`` stall activity), followed by event
+    counts and headline metrics.
+    """
+    lines: list[str] = []
+    if not events:
+        return "empty trace\n"
+    t0 = min(ev.ts for ev in events)
+    t1 = max(ev.ts + ev.args.get("dur", 0) for ev in events)
+    span = max(1, t1 - t0)
+    off = [0.0] * width
+    stall = [0] * width
+    counts: dict[str, int] = {}
+    for ev in events:
+        counts[ev.etype] = counts.get(ev.etype, 0) + 1
+        if ev.etype == "off":
+            lo, hi = ev.ts, ev.ts + ev.args.get("dur", 0)
+            b0 = min(width - 1, (lo - t0) * width // span)
+            b1 = min(width - 1, (hi - t0) * width // span)
+            for b in range(b0, b1 + 1):
+                blo = t0 + b * span / width
+                bhi = blo + span / width
+                overlap = min(hi, bhi) - max(lo, blo)
+                if overlap > 0:
+                    off[b] += overlap / (span / width)
+        elif ev.etype == "stall_end":
+            b = min(width - 1, (ev.ts - t0) * width // span)
+            stall[b] += 1
+    strip = "".join(
+        "." if off[b] > 0.5 else ("!" if stall[b] else "#")
+        for b in range(width))
+    lines.append(f"timeline  [{strip}]")
+    lines.append(f"          {t0} ns .. {t1} ns "
+                 f"(span {span} ns, {len(events)} events)")
+    lines.append("")
+    lines.append("events:")
+    for name in sorted(counts):
+        lines.append(f"  {name:<12} {counts[name]}")
+    if metrics:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in metrics.get("counters", {}).items():
+            if isinstance(value, float):
+                lines.append(f"  {name:<28} {value:.1f}")
+            else:
+                lines.append(f"  {name:<28} {value}")
+        hists = metrics.get("histograms", {})
+        if hists:
+            lines.append("")
+            lines.append("histograms (count/mean/max):")
+            for name, h in hists.items():
+                n = h["count"]
+                mean = h["sum"] / n if n else 0.0
+                mx = h["max"] if h["max"] is not None else 0
+                lines.append(f"  {name:<28} {n:>6} / {mean:.1f} / {mx}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# structural validator for the Chrome trace-event format (CI + tests)
+
+_KNOWN_PH = {"M", "i", "I", "C", "X", "B", "E", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(obj) -> list[str]:
+    """Validate a loaded trace.json against the Chrome trace-event format.
+
+    Returns a list of human-readable problems (empty when valid). Checks
+    the JSON-object form, per-phase required fields, non-negative numeric
+    timestamps, B/E nesting balance per thread, and b/e async pairing by
+    (cat, id).
+    """
+    errors: list[str] = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    open_dur: dict[tuple, list[str]] = {}
+    open_async: dict[tuple, int] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in _KNOWN_PH:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            errors.append(f"{where}: 'ts' must be a number, got {ts!r}")
+        elif ts < 0:
+            errors.append(f"{where}: negative timestamp {ts}")
+        if not isinstance(ev.get("pid"), int):
+            errors.append(f"{where}: 'pid' must be an integer")
+        name = ev.get("name")
+        if ph != "M" and not isinstance(name, str):
+            errors.append(f"{where}: 'name' must be a string")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' needs a non-negative 'dur'")
+        elif ph in ("B", "E"):
+            track = (ev.get("pid"), ev.get("tid"))
+            stack = open_dur.setdefault(track, [])
+            if ph == "B":
+                stack.append(name)
+            elif not stack:
+                errors.append(f"{where}: 'E' with no open 'B' on {track}")
+            else:
+                stack.pop()
+        elif ph in ("b", "e"):
+            if not isinstance(ev.get("cat"), str):
+                errors.append(f"{where}: async event needs a 'cat' string")
+            if "id" not in ev:
+                errors.append(f"{where}: async event needs an 'id'")
+            key = (ev.get("cat"), str(ev.get("id")))
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            elif open_async.get(key, 0) <= 0:
+                errors.append(
+                    f"{where}: async 'e' with no matching 'b' for {key}")
+            else:
+                open_async[key] -= 1
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in args.values()):
+                errors.append(f"{where}: counter args must be numbers")
+        elif ph == "M":
+            if name not in ("process_name", "process_labels",
+                            "process_sort_index", "thread_name",
+                            "thread_sort_index"):
+                errors.append(f"{where}: unknown metadata {name!r}")
+            elif not isinstance(ev.get("args"), dict):
+                errors.append(f"{where}: metadata needs an args object")
+    for track, stack in open_dur.items():
+        if stack:
+            errors.append(
+                f"unclosed 'B' events on {track}: {stack}")
+    return errors

@@ -1,0 +1,144 @@
+"""Named counters and histograms for simulation metrics.
+
+A :class:`MetricsRegistry` is attached to a run by the
+:class:`~repro.obs.recorder.TraceRecorder` and aggregated into
+``RunResult.metrics`` as a plain JSON-able dict - small enough to pickle
+home from parallel sweep workers, mergeable across runs with
+:func:`merge_metrics`.
+
+Histograms use explicit bucket upper bounds (the last bucket is open,
+like Prometheus ``le`` buckets) plus exact sum/count/min/max, so merging
+two histograms with the same bounds is lossless bucket-wise addition.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class Counter:
+    """A monotonically growing value (int or float)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0):
+        self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum/count/min/max.
+
+    ``bounds`` are inclusive upper bounds of the finite buckets; one more
+    open bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count", "min", "max")
+
+    def __init__(self, bounds: list[float]):
+        if not bounds or any(b <= a for b, a in zip(bounds[1:], bounds)):
+            raise ConfigError(
+                f"histogram bounds must be non-empty and strictly "
+                f"increasing, got {bounds!r}")
+        self.bounds = list(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters and histograms for one run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def histogram(self, name: str, bounds: list[float]) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(bounds)
+        return h
+
+    def set_counter(self, name: str, value: float) -> None:
+        """Set a counter to an absolute value (end-of-run backfill)."""
+        self.counter(name).value = value
+
+    def as_dict(self) -> dict:
+        """Plain JSON-able form - this is what ``RunResult.metrics`` holds."""
+        out: dict = {"counters": {}, "histograms": {}}
+        for name in sorted(self.counters):
+            out["counters"][name] = self.counters[name].value
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            out["histograms"][name] = {
+                "bounds": list(h.bounds), "counts": list(h.counts),
+                "sum": h.total, "count": h.count,
+                "min": h.min, "max": h.max,
+            }
+        return out
+
+
+def merge_metrics(dicts) -> dict:
+    """Merge ``RunResult.metrics`` dicts (e.g. across sweep runs/workers).
+
+    Counters add; histograms with identical bounds add bucket-wise and
+    combine sum/count/min/max. Mismatched bounds for the same histogram
+    name raise :class:`~repro.errors.ConfigError` - that means two runs
+    were recorded with incompatible recorder versions.
+    """
+    merged: dict = {"counters": {}, "histograms": {}}
+    for d in dicts:
+        if d is None:
+            continue
+        for name, value in d.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, h in d.get("histograms", {}).items():
+            m = merged["histograms"].get(name)
+            if m is None:
+                merged["histograms"][name] = {
+                    "bounds": list(h["bounds"]), "counts": list(h["counts"]),
+                    "sum": h["sum"], "count": h["count"],
+                    "min": h["min"], "max": h["max"],
+                }
+                continue
+            if m["bounds"] != h["bounds"]:
+                raise ConfigError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ "
+                    f"({m['bounds']} vs {h['bounds']})")
+            m["counts"] = [a + b for a, b in zip(m["counts"], h["counts"])]
+            m["sum"] += h["sum"]
+            m["count"] += h["count"]
+            for k, pick in (("min", min), ("max", max)):
+                if h[k] is not None:
+                    m[k] = h[k] if m[k] is None else pick(m[k], h[k])
+    merged["counters"] = dict(sorted(merged["counters"].items()))
+    merged["histograms"] = dict(sorted(merged["histograms"].items()))
+    return merged

@@ -1,0 +1,46 @@
+"""CLI validator for Chrome trace-event JSON files.
+
+Usage::
+
+    python -m repro.obs.validate trace.json [...]
+
+Exits 0 when every file validates, 1 otherwise (problems on stderr).
+The CI trace-smoke job runs this against the ``repro trace`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.export import validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.obs.validate trace.json [...]",
+              file=sys.stderr)
+        return 2
+    bad = 0
+    for path in paths:
+        try:
+            with open(path) as fh:
+                obj = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            bad += 1
+            continue
+        errors = validate_chrome_trace(obj)
+        if errors:
+            bad += 1
+            for err in errors:
+                print(f"{path}: {err}", file=sys.stderr)
+        else:
+            n = len(obj.get("traceEvents", []))
+            print(f"{path}: OK ({n} events)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,6 +131,11 @@ class SimConfig:
     #: (:mod:`repro.lint.invariants`). ``REPRO_CHECK=1`` in the environment
     #: enables it too; when neither is set the runtime cost is zero.
     check_invariants: bool = False
+    #: Attach the observability layer (:mod:`repro.obs`): event tracing
+    #: into a TraceRecorder plus a metrics registry published as
+    #: ``RunResult.metrics``. ``REPRO_TRACE=1`` in the environment enables
+    #: it too; when neither is set the runtime cost is zero.
+    trace: bool = False
     chunk_instrs: int = 32
     max_instructions: int = 60_000_000
     max_outages: int = 100_000

@@ -18,6 +18,7 @@ from repro.errors import ConfigError
 from repro.isa.program import Program
 from repro.lint.invariants import attach_invariants, invariants_enabled
 from repro.mem.memsys import NoCacheNVP
+from repro.obs.recorder import attach_trace, trace_enabled
 from repro.mem.nvm import NVMainMemory
 from repro.sim.config import DESIGNS, SimConfig
 from repro.sim.system import System
@@ -103,7 +104,10 @@ def build_system(program: Program, design_name: str,
     costs = config.costs
     if design_name == "NVCache-WB":
         costs = replace(costs, ifetch_extra=config.nvcache_ifetch_extra)
-    return System(program, design, config, trace, costs)
+    system = System(program, design, config, trace, costs)
+    if config.trace or trace_enabled():
+        attach_trace(system)
+    return system
 
 
 def run_one(program: Program, design_name: str,

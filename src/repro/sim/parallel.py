@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, SweepError
 from repro.lint.invariants import ENV_VAR as _CHECK_ENV
+from repro.obs.recorder import ENV_VAR as _TRACE_ENV
 from repro.sim.config import SimConfig
 from repro.sim.factory import run_one, validate_design
 from repro.sim.results import RunResult
@@ -97,18 +98,20 @@ def run_task(task: SweepTask) -> RunResult:
     return res
 
 
-def _init_worker(check_env: str | None) -> None:
-    """Worker initializer: re-export REPRO_CHECK into the child process.
+def _init_worker(check_env: str | None, trace_env: str | None) -> None:
+    """Worker initializer: re-export the instrumentation switches.
 
     Pools spawned with a non-fork start method begin from a fresh
     interpreter whose environment may not mirror the parent's, so the
-    invariant-checking switch is shipped explicitly - a checked parallel
-    sweep must check in every worker, not just the parent.
+    invariant-checking (REPRO_CHECK) and tracing (REPRO_TRACE) switches
+    are shipped explicitly - a checked/traced parallel sweep must
+    check/trace in every worker, not just the parent.
     """
-    if check_env is None:
-        os.environ.pop(_CHECK_ENV, None)
-    else:
-        os.environ[_CHECK_ENV] = check_env
+    for var, value in ((_CHECK_ENV, check_env), (_TRACE_ENV, trace_env)):
+        if value is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = value
 
 
 def _run_chunk(chunk: list[SweepTask]) -> list[tuple]:
@@ -183,7 +186,8 @@ def run_tasks(tasks: list[SweepTask], jobs: int | None = None,
     done = 0
     with ProcessPoolExecutor(max_workers=min(jobs, total),
                              initializer=_init_worker,
-                             initargs=(os.environ.get(_CHECK_ENV),)) as pool:
+                             initargs=(os.environ.get(_CHECK_ENV),
+                                       os.environ.get(_TRACE_ENV))) as pool:
         futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
         pending = set(futures)
         while pending:

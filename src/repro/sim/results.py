@@ -87,6 +87,13 @@ class RunResult:
     #: attached via SimConfig.check_invariants / REPRO_CHECK=1)
     invariant_checks: int = 0
 
+    #: observability counters/histograms (None unless the trace recorder
+    #: was attached via SimConfig.trace / REPRO_TRACE=1); a plain dict in
+    #: the :meth:`repro.obs.metrics.MetricsRegistry.as_dict` shape so it
+    #: pickles cheaply from parallel sweep workers and merges with
+    #: :func:`repro.obs.metrics.merge_metrics`
+    metrics: dict | None = None
+
     energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
     periods: list[PeriodStats] = field(default_factory=list)
 

@@ -345,6 +345,9 @@ class System:
         checker = getattr(design, "_invariant_checker", None)
         if checker is not None:
             res.invariant_checks = checker.checks
+        recorder = getattr(self, "_trace_recorder", None)
+        if recorder is not None:
+            recorder.finish(self, res)
         res.final_regs = core.arch_regs
         res.final_memory = nvm.words
         return res

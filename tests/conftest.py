@@ -10,6 +10,18 @@ from repro.mem.setassoc import CacheGeometry
 from repro.sim.config import SimConfig
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite the golden event traces under tests/goldens/ from "
+             "the current recorder output instead of comparing")
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def tiny_geometry() -> CacheGeometry:
     """A 512 B, 2-way, 64 B-line cache: 4 sets, 8 lines - easy to reason

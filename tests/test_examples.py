@@ -83,3 +83,18 @@ def test_compare_designs(monkeypatch, capsys):
     mod.main()
     out = capsys.readouterr().out
     assert "speedup vs NVSRAM(ideal)" in out
+
+
+def test_trace_example(monkeypatch, capsys, tmp_path):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    mod = load_example("trace_example.py")
+    monkeypatch.setattr(mod, "get_workload", _small(monkeypatch))
+    out = tmp_path / "trace.json"
+    mod.main(out=str(out))
+    printed = capsys.readouterr().out
+    assert "timeline" in printed and "perfetto" in printed.lower()
+    with open(out) as fh:
+        assert validate_chrome_trace(json.load(fh)) == []

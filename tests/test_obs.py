@@ -1,0 +1,333 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the metrics registry and merge semantics, the recorder's timestamp
+clamping and zero-overhead-when-off attachment structure, the exporters
+(Chrome JSON / CSV / golden text / terminal summary), the trace-format
+validator, and the ``repro trace`` CLI subcommand end to end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.cli import resolve_design
+from repro.errors import ConfigError
+from repro.obs.events import EVENT_SCHEMA, TraceEvent, format_event
+from repro.obs.export import (timeline_summary, to_chrome, to_csv,
+                              validate_chrome_trace, write_chrome)
+from repro.obs.metrics import Histogram, MetricsRegistry, merge_metrics
+from repro.obs.recorder import TraceRecorder, attach_trace
+from repro.obs.validate import main as validate_main
+from repro.sim.config import SimConfig
+from repro.sim.factory import build_system
+from repro.workloads import build_workload
+
+
+def run_traced(workload="sha", design="WL-Cache", trace="trace1",
+               scale=1.0, **overrides):
+    prog = build_workload(workload, scale)
+    system = build_system(prog, design, trace=trace,
+                          config=SimConfig(trace=True, **overrides))
+    res = system.run()
+    return system._trace_recorder, res
+
+
+# ----------------------------------------------------------------------
+# metrics
+
+
+class TestMetrics:
+    def test_counter(self):
+        m = MetricsRegistry()
+        c = m.counter("x")
+        c.inc()
+        c.inc(4)
+        assert m.counter("x") is c
+        assert m.as_dict()["counters"]["x"] == 5
+
+    def test_histogram_buckets(self):
+        h = Histogram([1.0, 2.0, 4.0])
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        # <=1: {0.5, 1.0}; <=2: {1.5}; <=4: {3.0}; overflow: {100.0}
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx(106.0 / 5)
+
+    def test_histogram_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            Histogram([])
+        with pytest.raises(ConfigError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ConfigError):
+            Histogram([2.0, 1.0])
+
+    def test_as_dict_sorted_and_jsonable(self):
+        m = MetricsRegistry()
+        m.counter("b").inc()
+        m.counter("a").inc()
+        m.histogram("h", [1.0]).observe(0.5)
+        d = m.as_dict()
+        assert list(d["counters"]) == ["a", "b"]
+        json.dumps(d)  # must round-trip through JSON
+
+    def test_merge_counters_add(self):
+        a = {"counters": {"x": 2, "y": 1}, "histograms": {}}
+        b = {"counters": {"x": 3}, "histograms": {}}
+        merged = merge_metrics([a, b, None])
+        assert merged["counters"] == {"x": 5, "y": 1}
+
+    def test_merge_histograms_bucketwise(self):
+        def mk(values):
+            m = MetricsRegistry()
+            h = m.histogram("h", [10.0, 20.0])
+            for v in values:
+                h.observe(v)
+            return m.as_dict()
+
+        merged = merge_metrics([mk([5.0, 15.0]), mk([25.0])])
+        h = merged["histograms"]["h"]
+        assert h["counts"] == [1, 1, 1]
+        assert h["count"] == 3
+        assert h["min"] == 5.0 and h["max"] == 25.0
+        assert h["sum"] == pytest.approx(45.0)
+
+    def test_merge_mismatched_bounds_raise(self):
+        a = {"counters": {}, "histograms": {
+            "h": {"bounds": [1.0], "counts": [0, 0], "sum": 0.0,
+                  "count": 0, "min": None, "max": None}}}
+        b = {"counters": {}, "histograms": {
+            "h": {"bounds": [2.0], "counts": [0, 0], "sum": 0.0,
+                  "count": 0, "min": None, "max": None}}}
+        with pytest.raises(ConfigError, match="bounds differ"):
+            merge_metrics([a, b])
+
+
+# ----------------------------------------------------------------------
+# events + recorder mechanics
+
+
+class TestRecorder:
+    def test_format_event_schema_order(self):
+        ev = TraceEvent(42, "ckpt_flush",
+                        {"words": 64, "lines": 4, "cycles": 100})
+        # args print in schema order regardless of dict insertion order
+        assert format_event(ev) == "42 sys ckpt_flush cycles=100 lines=4 words=64"
+
+    def test_format_event_float(self):
+        ev = TraceEvent(7, "energy", {"nj": 123.4567})
+        assert format_event(ev) == "7 power energy nj=123.457"
+
+    def test_emit_clamps_per_component(self):
+        rec = TraceRecorder()
+        rec.emit("boot", 100, first=1, restore_cycles=0)
+        late = rec.emit("reconfig", 50, maxline=4, waterline=3)
+        assert late.ts == 100  # same component (sys): clamped
+        other = rec.emit("energy", 50, nj=1.0)
+        assert other.ts == 50  # different component: untouched
+
+    def test_double_attach_rejected(self):
+        prog = build_workload("sha", 0.2)
+        system = build_system(prog, "WL-Cache", trace="trace1")
+        rec = attach_trace(system)
+        with pytest.raises(RuntimeError):
+            rec.attach(system)
+
+    def test_disabled_run_leaves_hot_paths_untouched(self):
+        """Zero overhead when off: no wrapper lands in any instance dict."""
+        prog = build_workload("sha", 0.2)
+        system = build_system(prog, "WL-Cache", trace="trace1")
+        for obj, names in (
+                (system.core, ("run_chunk",)),
+                (system.capacitor, ("consume",)),
+                (system.design, ("load", "store", "store_masked",
+                                 "_issue_writeback", "_retire_pending",
+                                 "_ensure_slot", "flush_for_checkpoint",
+                                 "set_thresholds", "on_boot")),
+                (system.trace, ("charge_until",))):
+            for name in names:
+                assert name not in vars(obj), f"{name} unexpectedly shadowed"
+        assert not hasattr(system, "_trace_recorder")
+
+    def test_enabled_run_shadows_instance_attrs(self):
+        prog = build_workload("sha", 0.2)
+        system = build_system(prog, "WL-Cache", trace="trace1",
+                              config=SimConfig(trace=True))
+        assert "run_chunk" in vars(system.core)
+        assert "store_masked" in vars(system.design)
+        assert "charge_until" in vars(system.trace)
+        assert system._trace_recorder.metrics is not None
+
+    def test_env_var_enables(self, monkeypatch):
+        from repro.obs.recorder import trace_enabled
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert not trace_enabled()
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not trace_enabled()
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert trace_enabled()
+        prog = build_workload("sha", 0.2)
+        system = build_system(prog, "WL-Cache", trace="trace1")
+        assert hasattr(system, "_trace_recorder")
+
+    def test_no_detail_drops_hits_keeps_counts(self):
+        rec_full, res_full = run_traced(scale=0.3)
+        prog = build_workload("sha", 0.3)
+        system = build_system(prog, "WL-Cache", trace="trace1",
+                              config=SimConfig(trace=True))
+        system._trace_recorder.detail = False
+        res_lean = system.run()
+        lean = system._trace_recorder
+        kinds = {e.etype for e in lean.events}
+        assert "read_hit" not in kinds and "write_hit" not in kinds
+        assert any(e.etype == "retire" for e in lean.events)
+        # metrics are unaffected by the detail level
+        assert (lean.metrics.as_dict()["counters"]
+                == rec_full.metrics.as_dict()["counters"])
+        assert res_lean.read_hits == res_full.read_hits
+
+
+# ----------------------------------------------------------------------
+# exporters + validator
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        return run_traced(scale=0.5)
+
+    def test_chrome_structure(self, recorded):
+        rec, res = recorded
+        obj = to_chrome(rec.events, meta={"program": "sha"})
+        assert obj["otherData"]["program"] == "sha"
+        evs = obj["traceEvents"]
+        phases = {e["ph"] for e in evs}
+        assert {"M", "C", "X", "b"} <= phases
+        names = {e["name"] for e in evs if e["ph"] == "M"}
+        assert "process_name" in names and "thread_name" in names
+
+    def test_chrome_validates(self, recorded):
+        rec, _res = recorded
+        assert validate_chrome_trace(to_chrome(rec.events)) == []
+
+    def test_chrome_file_roundtrip(self, recorded, tmp_path):
+        rec, _res = recorded
+        path = tmp_path / "trace.json"
+        write_chrome(rec.events, path)
+        with open(path) as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+
+    def test_csv(self, recorded):
+        rec, _res = recorded
+        text = to_csv(rec.events)
+        lines = text.splitlines()
+        assert lines[0] == "ts_ns,component,event,args"
+        assert len(lines) == len(rec.events) + 1
+
+    def test_timeline_summary(self, recorded):
+        rec, res = recorded
+        out = timeline_summary(rec.events, res.metrics)
+        assert "timeline" in out
+        assert "cache.read_hits" in out
+        assert "dq.occupancy" in out
+        assert timeline_summary([]) == "empty trace\n"
+
+    def test_validator_catches_seeded_defects(self):
+        good = {"traceEvents": [
+            {"ph": "X", "name": "s", "ts": 1, "pid": 1, "tid": 1, "dur": 2}]}
+        assert validate_chrome_trace(good) == []
+        cases = [
+            ({"nope": []}, "traceEvents"),
+            ({"traceEvents": [{"ph": "Z", "ts": 0, "pid": 1}]}, "phase"),
+            ({"traceEvents": [{"ph": "i", "name": "x", "ts": -5, "pid": 1}]},
+             "negative"),
+            ({"traceEvents": [{"ph": "X", "name": "x", "ts": 0, "pid": 1}]},
+             "dur"),
+            ({"traceEvents": [{"ph": "E", "name": "x", "ts": 0, "pid": 1,
+                               "tid": 2}]}, "no open 'B'"),
+            ({"traceEvents": [{"ph": "B", "name": "x", "ts": 0, "pid": 1,
+                               "tid": 2}]}, "unclosed"),
+            ({"traceEvents": [{"ph": "e", "name": "x", "ts": 0, "pid": 1,
+                               "cat": "wb", "id": "1"}]}, "no matching"),
+            ({"traceEvents": [{"ph": "C", "name": "x", "ts": 0, "pid": 1,
+                               "args": {"v": "high"}}]}, "numbers"),
+            ({"traceEvents": [{"ph": "i", "name": 7, "ts": 0, "pid": 1}]},
+             "name"),
+        ]
+        for obj, needle in cases:
+            errors = validate_chrome_trace(obj)
+            assert errors, f"expected a finding for {obj}"
+            assert any(needle in e for e in errors), (needle, errors)
+
+    def test_validate_cli(self, recorded, tmp_path, capsys):
+        rec, _res = recorded
+        good = tmp_path / "good.json"
+        write_chrome(rec.events, good)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
+        assert validate_main([str(good)]) == 0
+        assert validate_main([str(good), str(bad)]) == 1
+        assert validate_main([]) == 2
+        assert validate_main([str(tmp_path / "missing.json")]) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI subcommand
+
+
+class TestTraceCli:
+    def test_aliases(self):
+        assert resolve_design("wl") == "WL-Cache"
+        assert resolve_design("WL-Cache") == "WL-Cache"
+        assert resolve_design("nvsram") == "NVSRAM(ideal)"
+        assert resolve_design("wt-buffer") == "WT+Buffer"
+        with pytest.raises(SystemExit):
+            resolve_design("doom3")
+
+    def test_trace_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        csv_path = tmp_path / "trace.csv"
+        assert cli_main(["trace", "sha", "wl", "trace1", "--scale", "0.5",
+                         "--out", str(out), "--csv", str(csv_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "perfetto" in printed.lower()
+        assert "timeline" in printed
+        with open(out) as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+        assert csv_path.read_text().startswith("ts_ns,")
+
+    def test_trace_subcommand_no_failure(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert cli_main(["trace", "sha", "nvsram", "none", "--scale", "0.3",
+                         "--out", str(out), "--no-detail"]) == 0
+        with open(out) as fh:
+            obj = json.load(fh)
+        assert validate_chrome_trace(obj) == []
+        names = {e["name"] for e in obj["traceEvents"]}
+        assert "off" not in names  # failure-free: no outages
+
+    def test_trace_stats_json_carries_metrics(self, tmp_path, capsys):
+        from repro.analysis.stats_io import load_result
+        stats = tmp_path / "stats.json"
+        assert cli_main(["trace", "sha", "wl", "trace1", "--scale", "0.3",
+                         "--out", str(tmp_path / "t.json"),
+                         "--stats-json", str(stats)]) == 0
+        back = load_result(str(stats))
+        assert back.metrics is not None
+        assert back.metrics["counters"]["cache.read_hits"] == back.read_hits
+
+
+def test_schema_args_exactly_match_emitted_events():
+    """Every emitted event carries exactly its schema's arg names."""
+    rec, _res = run_traced(scale=0.5)
+    seen = set()
+    for ev in rec.events:
+        assert set(ev.args) == set(EVENT_SCHEMA[ev.etype][2]), ev.etype
+        seen.add(ev.etype)
+    # a WL-Cache run under a volatile trace exercises most of the schema
+    assert {"retire", "energy", "off", "boot", "ckpt_flush", "dirty",
+            "wb_issue", "wb_ack"} <= seen

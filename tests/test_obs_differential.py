@@ -1,0 +1,115 @@
+"""Differential tests: obs metrics vs the pre-existing RunResult aggregates.
+
+The recorder derives its counters by diffing ``MemStats`` around wrapped
+calls; the simulator computes the same totals through its own end-of-run
+aggregation. If the two ever disagree, the layer double-booked (or lost)
+events. The reduced grid runs tier-1; the full workload x design grid is
+tier-2 (``REPRO_TIER2=1``). Also proves metrics merge correctly across
+parallel sweep workers: a REPRO_TRACE'd parallel sweep must produce the
+same merged metrics as the serial one.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs.metrics import merge_metrics
+from repro.sim.config import DESIGNS, SimConfig
+from repro.sim.factory import run_one
+from repro.sim.parallel import run_grid_parallel
+from repro.workloads import ALL_WORKLOADS, build_workload
+
+TRACED = SimConfig(trace=True)
+
+#: metrics counter -> RunResult aggregate it must equal, on every design
+COUNTER_TO_AGGREGATE = {
+    "cache.read_hits": "read_hits",
+    "cache.read_misses": "read_misses",
+    "cache.write_hits": "write_hits",
+    "cache.write_misses": "write_misses",
+    "cache.stall_cycles": "store_stall_cycles",
+    "cache.async_writebacks": "async_writebacks",
+    "cache.dirty_evictions": "dirty_evictions",
+    "sys.ckpt_flushes": "outages",
+    "sys.ckpt_lines": "checkpoint_lines_total",
+}
+
+
+def assert_metrics_match(res) -> None:
+    counters = res.metrics["counters"]
+    for metric, aggregate in COUNTER_TO_AGGREGATE.items():
+        if metric not in counters:
+            continue  # design without that mechanism (e.g. NoCache)
+        assert counters[metric] == getattr(res, aggregate), (
+            f"{res.design}/{res.program}: metrics[{metric!r}]="
+            f"{counters[metric]} != RunResult.{aggregate}="
+            f"{getattr(res, aggregate)}")
+    # WL-Cache write-back bookkeeping must close exactly
+    if "wb.issued" in counters:
+        assert counters["wb.issued"] == (counters["wb.acked"]
+                                         + counters["wb.flushed_inflight"])
+        assert counters["wb.issued"] == res.async_writebacks
+
+
+def traced_run(workload: str, design: str, scale: float = 0.15,
+               trace: str | None = "trace1", **overrides):
+    prog = build_workload(workload, scale)
+    res = run_one(prog, design, trace, TRACED, **overrides)
+    assert res.halted and res.metrics is not None
+    return res
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("design", DESIGNS)
+    @pytest.mark.parametrize("workload", ("sha", "qsort", "dijkstra"))
+    def test_reduced_grid(self, workload, design):
+        assert_metrics_match(traced_run(workload, design))
+
+    @pytest.mark.parametrize("design", ("WL-Cache", "WL-Cache(eager)"))
+    def test_wl_variants(self, design):
+        assert_metrics_match(traced_run("sha", design, maxline=3,
+                                        dynamic=True))
+        assert_metrics_match(traced_run("sha", design, adaptive=False))
+
+    def test_no_failure_run(self):
+        assert_metrics_match(traced_run("sha", "WL-Cache", trace=None))
+
+    @pytest.mark.skipif(not os.environ.get("REPRO_TIER2"),
+                        reason="full grid is tier-2 (set REPRO_TIER2=1)")
+    @pytest.mark.parametrize("design", DESIGNS)
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS)
+    def test_full_grid(self, workload, design):
+        assert_metrics_match(traced_run(workload, design, scale=0.2))
+
+
+class TestParallelMerge:
+    APPS = ("sha", "qsort", "dijkstra", "basicmath")
+
+    def sweep(self, jobs):
+        os.environ["REPRO_TRACE"] = "1"
+        try:
+            return run_grid_parallel(self.APPS, ("WL-Cache",), "trace1",
+                                     scale=0.15, verify=False, jobs=jobs)
+        finally:
+            os.environ.pop("REPRO_TRACE", None)
+
+    def test_workers_trace_and_merge_matches_serial(self):
+        serial = self.sweep(jobs=1)
+        parallel = self.sweep(jobs=2)
+        for key, res in parallel.items():
+            # REPRO_TRACE reached the worker processes
+            assert res.metrics is not None, f"untraced worker result {key}"
+            assert_metrics_match(res)
+        merged_serial = merge_metrics(r.metrics for r in serial.values())
+        merged_parallel = merge_metrics(r.metrics for r in parallel.values())
+        assert merged_serial == merged_parallel
+
+    def test_merged_counters_equal_summed_aggregates(self):
+        results = self.sweep(jobs=2)
+        merged = merge_metrics(r.metrics for r in results.values())
+        counters = merged["counters"]
+        for metric, aggregate in COUNTER_TO_AGGREGATE.items():
+            want = sum(getattr(r, aggregate) for r in results.values())
+            assert counters[metric] == want, (metric, aggregate)

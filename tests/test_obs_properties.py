@@ -1,0 +1,131 @@
+"""Hypothesis properties of the trace recorder.
+
+Whatever outage pattern a hostile RF source produces, the recorded event
+stream must satisfy the observability layer's structural guarantees:
+
+* timestamps monotone non-decreasing per component (the Perfetto track
+  contract the recorder's clamping exists to uphold);
+* every ``wb_issue`` resolved exactly once - by a ``wb_ack`` or by a
+  ``ckpt_flush`` persisting the in-flight line (S5.3's completion rule);
+* ``stall_begin``/``stall_end`` strictly alternating, begin first,
+  ending closed;
+* attaching the recorder never changes simulation results: enabled and
+  disabled runs are bit-identical in every ``RunResult`` stat.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.energy.synthetic import RFTrace
+from repro.sim.config import SimConfig
+from repro.sim.factory import build_system
+from tests.test_prop_system import mixed_program
+
+_PROGRAM = mixed_program()
+
+DESIGN_NAMES = ("WL-Cache", "NVSRAM(ideal)", "VCache-WT", "NVCache-WB",
+                "ReplayCache", "WT+Buffer", "WL-Cache(eager)")
+
+
+def volatile_trace(seed: int) -> RFTrace:
+    """A hostile RF source: frequent deep clustered fades."""
+    return RFTrace("prop", seed, mean_w=0.62, sigma_w=0.12,
+                   fade_prob=0.5, fade_depth=0.12, seg_us=(2.0, 6.0))
+
+
+def record(seed: int, design: str, **overrides):
+    system = build_system(_PROGRAM, design, trace=volatile_trace(seed),
+                          config=SimConfig(trace=True, **overrides))
+    res = system.run()
+    assert res.halted
+    return system._trace_recorder.events, res
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), design=st.sampled_from(DESIGN_NAMES))
+def test_timestamps_monotone_per_component(seed, design):
+    events, _res = record(seed, design)
+    last: dict[str, int] = {}
+    for ev in events:
+        c = ev.component
+        assert ev.ts >= last.get(c, 0), (
+            f"{ev.etype} at {ev.ts} after {c} was at {last[c]}")
+        last[c] = ev.ts
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000),
+       maxline=st.integers(2, 8),
+       dq_policy=st.sampled_from(("fifo", "lru")))
+def test_every_wb_issue_resolves_exactly_once(seed, maxline, dq_policy):
+    events, res = record(seed, "WL-Cache", maxline=maxline,
+                         dq_policy=dq_policy)
+    open_seqs: set[int] = set()
+    acked = 0
+    flushed = 0
+    for ev in events:
+        if ev.etype == "wb_issue":
+            seq = ev.args["seq"]
+            assert seq not in open_seqs, f"wb seq {seq} issued twice"
+            open_seqs.add(seq)
+        elif ev.etype == "wb_ack":
+            seq = ev.args["seq"]
+            assert seq in open_seqs, f"ack for unissued wb seq {seq}"
+            open_seqs.remove(seq)
+            acked += 1
+        elif ev.etype == "ckpt_flush":
+            # a JIT checkpoint persists every in-flight write-back: their
+            # ACKs never arrive, the flush is their resolution
+            flushed += len(open_seqs)
+            open_seqs.clear()
+    assert not open_seqs, f"unresolved write-backs at halt: {open_seqs}"
+    m = res.metrics["counters"]
+    assert m["wb.issued"] == acked + flushed
+    assert m["wb.acked"] == acked
+    assert m["wb.flushed_inflight"] == flushed
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), maxline=st.integers(2, 6))
+def test_stall_begin_end_strictly_alternate(seed, maxline):
+    events, res = record(seed, "WL-Cache", maxline=maxline)
+    open_begin = False
+    begin_ts = 0
+    stalls = 0
+    for ev in events:
+        if ev.etype == "stall_begin":
+            assert not open_begin, "stall_begin while a stall is open"
+            open_begin = True
+            begin_ts = ev.ts
+        elif ev.etype == "stall_end":
+            assert open_begin, "stall_end without a stall_begin"
+            open_begin = False
+            stalls += 1
+            assert ev.args["cycles"] >= 1
+            assert ev.ts >= begin_ts
+            assert ev.args["cause"] in ("ack_wait", "sync_clean")
+    assert not open_begin, "stall left open at halt"
+    assert stalls == res.metrics["counters"]["cache.stall_events"]
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), design=st.sampled_from(DESIGN_NAMES))
+def test_tracing_never_changes_results(seed, design):
+    plain = build_system(_PROGRAM, design, trace=volatile_trace(seed)).run()
+    traced_sys = build_system(_PROGRAM, design, trace=volatile_trace(seed),
+                              config=SimConfig(trace=True))
+    traced = traced_sys.run()
+    assert plain.metrics is None and traced.metrics is not None
+    a = dataclasses.asdict(plain)
+    b = dataclasses.asdict(traced)
+    a.pop("metrics")
+    b.pop("metrics")
+    assert a == b, "attaching the recorder perturbed the simulation"

@@ -78,6 +78,92 @@ class TestSegmented:
             PowerTrace([0], [-0.1])
 
 
+class TestSegmentEdges:
+    """Boundary and zero-power edge cases of the trace integrators.
+
+    The negative-time cases are regression tests for an off-by-one-segment
+    bug: ``_seek`` computed ``bisect_right(starts, t) - 1``, which is -1
+    for t < 0, and Python indexing silently wrapped that to the *last*
+    segment - so ``energy_nj(-50, 50)`` billed [-50, 0) at the final
+    segment's power instead of raising. ``power_w`` had a guard; the three
+    integrators did not.
+    """
+
+    def make(self):
+        return PowerTrace([0, 100, 200], [0.1, 0.0, 0.2], "seg")
+
+    def test_energy_rejects_negative_start(self):
+        tr = self.make()
+        with pytest.raises(TraceError, match="negative"):
+            tr.energy_nj(-50, 50)
+
+    def test_time_to_harvest_rejects_negative_start(self):
+        tr = self.make()
+        with pytest.raises(TraceError, match="negative"):
+            tr.time_to_harvest(-1, 5.0)
+
+    def test_charge_until_rejects_negative_start(self):
+        tr = self.make()
+        with pytest.raises(TraceError, match="negative"):
+            tr.charge_until(-10, 0.0, 5.0)
+
+    def test_energy_rejects_reversed_interval(self):
+        tr = self.make()
+        with pytest.raises(TraceError, match="reversed"):
+            tr.energy_nj(100, 50)
+
+    def test_energy_exactly_on_boundaries(self):
+        tr = self.make()
+        # whole segments, endpoints exactly on the segment starts
+        assert tr.energy_nj(0, 100) == pytest.approx(10.0)
+        assert tr.energy_nj(100, 200) == pytest.approx(0.0)
+        assert tr.energy_nj(0, 200) == pytest.approx(10.0)
+
+    def test_energy_empty_interval_on_boundary(self):
+        tr = self.make()
+        assert tr.energy_nj(100, 100) == 0.0
+        assert tr.energy_nj(200, 200) == 0.0
+
+    def test_energy_inside_zero_power_segment(self):
+        tr = self.make()
+        assert tr.energy_nj(110, 190) == 0.0
+
+    def test_energy_additivity_at_every_boundary(self):
+        tr = self.make()
+        whole = tr.energy_nj(0, 300)
+        for cut in (0, 1, 99, 100, 101, 199, 200, 201, 300):
+            assert (tr.energy_nj(0, cut) + tr.energy_nj(cut, 300)
+                    == pytest.approx(whole))
+
+    def test_time_to_harvest_exact_fill_at_boundary(self):
+        tr = self.make()
+        # 10 nJ is exactly what segment 0 delivers: the crossing instant
+        # is t=100 and the reported time is the first ns past it
+        assert tr.time_to_harvest(0, 10.0) == 101
+
+    def test_time_to_harvest_starting_in_zero_segment(self):
+        tr = self.make()
+        # dead until t=200, then 4 nJ at 0.2 W -> 20 ns
+        assert tr.time_to_harvest(150, 4.0) == pytest.approx(220, abs=2)
+
+    def test_charge_until_floor_in_zero_segment(self):
+        tr = self.make()
+        # drain through the dead segment may not take energy below the floor
+        t = tr.charge_until(100, 3.0, 50.0, drain_w=0.05, e_floor_nj=2.0)
+        # floor at 2 nJ by t=120; 48 nJ at net 0.15 W from t=200 -> 320 ns
+        assert t == pytest.approx(200 + 48 / 0.15, abs=3)
+
+    def test_charge_until_target_met_at_start(self):
+        tr = self.make()
+        assert tr.charge_until(0, 5.0, 5.0) == 0
+
+    def test_seek_cache_survives_backwards_query(self):
+        tr = self.make()
+        assert tr.power_w(250) == 0.2    # advances the segment cache
+        assert tr.power_w(10) == 0.1     # rewind must re-bisect correctly
+        assert tr.energy_nj(50, 250) == pytest.approx(15.0)
+
+
 class TestGenerated:
     def test_deterministic_per_seed(self):
         a, b = trace1(seed=5), trace1(seed=5)
