@@ -1,0 +1,104 @@
+"""JIT speedup benchmark: guest instruction throughput, JIT on vs off.
+
+Runs the fig04 (no-power-failure) suite single-threaded on WL-Cache twice
+per kernel - interpreter fast path vs the basic-block/trace JIT - and
+reports guest instructions per second plus the per-kernel and geomean
+speedups. Results land in ``results/BENCH_4.json``.
+
+Methodology: one full warm-up run per mode first (so JIT compilation,
+workload build, and the decode cache are all excluded from timing), then
+``REPS`` timed runs with the two modes *interleaved* (off/on/off/on...)
+taking the best of each - alternation keeps slow drift in machine load
+from biasing one mode, which matters far more than the number of reps.
+
+Environment: ``REPRO_BENCH_SCALE`` scales the workloads,
+``REPRO_BENCH_APPS`` selects a subset, ``REPRO_JIT_GATE`` (default off)
+makes the script exit non-zero when the geomean speedup is below the
+acceptance floor of 1.5x.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_jit_speedup.py
+"""
+
+import json
+import math
+import os
+import sys
+import time
+
+from bench_common import bench_apps
+from repro.sim.config import SimConfig
+from repro.sim.factory import run_one
+from repro.sim.sweep import bench_scale
+from repro.workloads import build_workload
+
+DESIGN = "WL-Cache"
+REPS = 5
+GATE = 1.5
+
+
+def time_modes(prog) -> dict[bool, tuple[float, int]]:
+    """Best wall time and retired-instruction count per JIT mode."""
+    configs = {jit: SimConfig(jit=jit) for jit in (False, True)}
+    instret = {}
+    for jit, cfg in configs.items():  # warm-up: compile + caches
+        instret[jit] = run_one(prog, DESIGN, None, cfg).instructions
+    best = {False: math.inf, True: math.inf}
+    for _ in range(REPS):
+        for jit in (False, True):
+            t0 = time.perf_counter()
+            run_one(prog, DESIGN, None, configs[jit])
+            best[jit] = min(best[jit], time.perf_counter() - t0)
+    return {jit: (best[jit], instret[jit]) for jit in (False, True)}
+
+
+def main() -> int:
+    out_dir = os.path.join(os.path.dirname(__file__), os.pardir, "results")
+    os.makedirs(out_dir, exist_ok=True)
+    out_json = os.path.normpath(os.path.join(out_dir, "BENCH_4.json"))
+
+    kernels = {}
+    ratios = []
+    for app in bench_apps():
+        prog = build_workload(app, bench_scale())
+        modes = time_modes(prog)
+        (t_off, n_off), (t_on, n_on) = modes[False], modes[True]
+        assert n_on == n_off, f"{app}: retirement diverged under JIT"
+        ratio = t_off / t_on
+        ratios.append(ratio)
+        kernels[app] = {
+            "instret": n_off,
+            "interp_s": round(t_off, 6),
+            "jit_s": round(t_on, 6),
+            "interp_ips": round(n_off / t_off),
+            "jit_ips": round(n_on / t_on),
+            "speedup": round(ratio, 3),
+        }
+        print(f"{app:14s} {n_off / t_off / 1e6:6.2f} -> "
+              f"{n_on / t_on / 1e6:6.2f} Minstr/s  x{ratio:.2f}")
+
+    gmean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    report = {
+        "bench": "jit_speedup",
+        "design": DESIGN,
+        "suite": "fig04_no_failure",
+        "scale": bench_scale(),
+        "reps": REPS,
+        "gmean_speedup": round(gmean, 3),
+        "kernels": kernels,
+    }
+    with open(out_json, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"gmean speedup x{gmean:.2f} ({len(kernels)} kernels); "
+          f"wrote {out_json}")
+
+    if os.environ.get("REPRO_JIT_GATE") and gmean < GATE:
+        print(f"FAIL: gmean {gmean:.2f} below the {GATE}x gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

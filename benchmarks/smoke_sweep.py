@@ -1,10 +1,11 @@
-"""CI smoke sweep: a small grid run serial AND parallel, asserted equal.
+"""CI smoke sweep: a small grid run serial, parallel, AND under the JIT -
+all three asserted bit-identical.
 
 Exercises the full stack end to end in about a minute: workload build,
 every major cache design, a real power trace with outages, the crash
-consistency verifier, and the process-pool engine's bit-exactness
-guarantee. The CI pipeline runs this with ``REPRO_BENCH_SCALE=0.1`` and
-uploads the CSV as a build artifact.
+consistency verifier, the process-pool engine's bit-exactness guarantee,
+and the JIT's. The CI pipeline runs this with ``REPRO_BENCH_SCALE=0.1``
+and uploads the CSV as a build artifact.
 
 Usage::
 
@@ -40,8 +41,16 @@ def main() -> int:
         bad = [k for k in serial if serial[k] != parallel[k]]
         print(f"FAIL: parallel sweep diverged from serial on {bad}")
         return 1
-    print(f"serial {t_serial:.2f}s / parallel {t_parallel:.2f}s - "
-          f"{len(serial)} runs bit-identical")
+
+    t0 = time.perf_counter()
+    jit = run_grid(APPS, DESIGNS, TRACE, jobs=1, jit=True)
+    t_jit = time.perf_counter() - t0
+    if serial != jit:
+        bad = [k for k in serial if serial[k] != jit[k]]
+        print(f"FAIL: JIT sweep diverged from the interpreter on {bad}")
+        return 1
+    print(f"serial {t_serial:.2f}s / parallel {t_parallel:.2f}s / "
+          f"jit {t_jit:.2f}s - {len(serial)} runs bit-identical")
 
     with open(out_csv, "w", newline="") as f:
         w = csv.writer(f)

@@ -55,6 +55,9 @@ def _add_sim_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--capacitor-uf", type=float, default=None,
                    help="energy buffer size in microfarads")
     p.add_argument("--seed", type=int, default=None, help="trace seed")
+    p.add_argument("--jit", action="store_true",
+                   help="compile guest basic blocks to specialized Python "
+                        "(bit-identical results, faster simulation)")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the crash-consistency check")
     p.add_argument("--stats-json", default=None, metavar="PATH",
@@ -75,6 +78,8 @@ def _overrides(args) -> dict:
         out["capacitance_f"] = args.capacitor_uf * 1e-6
     if args.seed is not None:
         out["trace_seed"] = args.seed
+    if args.jit:
+        out["jit"] = True
     return out
 
 

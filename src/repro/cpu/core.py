@@ -53,6 +53,26 @@ _DEST_A_OPS = (oc.R_FORMAT | oc.I_FORMAT | oc.LI_FORMAT | oc.LOAD_FORMAT
                | oc.J_FORMAT | oc.JR_FORMAT)
 
 _DECODE_CACHE_KEY = "_decoded_by_costs"
+_CONTENT_KEY = "_content_key"
+
+#: Process-global decode cache: (program content key, costs) -> dispatch
+#: tuples. The per-``meta`` cache below only helps while the same Program
+#: *instance* is reused; sweep pool workers and tests rebuild programs, and
+#: this content-keyed level makes those rebuilt twins decode once per
+#: process too. Bounded by distinct (kernel, cost model) pairs; the cap is
+#: a backstop for program-fuzzing tests.
+_DECODE_SHARED: dict[tuple, list] = {}
+_DECODE_SHARED_CAP = 1024
+
+
+def program_content_key(program: Program) -> tuple:
+    """Hashable identity of a program's executable content (name included:
+    it is baked into execution-fault messages), cached on ``meta``."""
+    key = program.meta.get(_CONTENT_KEY)
+    if key is None:
+        key = (program.name, program.mem_bytes, tuple(program.instructions))
+        program.meta[_CONTENT_KEY] = key
+    return key
 
 # Internal dispatch codes, dense and ordered by measured dynamic frequency
 # across the 23-workload suite (hot ops get the earliest ``if/elif`` arms,
@@ -95,21 +115,29 @@ def predecode(program: Program, costs: CycleCosts) -> list[tuple]:
 
     ``code`` is the internal frequency-ordered dispatch code (see
     ``_INTERNAL``), ``line`` the I-cache line index of the instruction, and
-    ``cost`` its pre-folded base cycle cost. The decode is cached on
-    ``program.meta`` keyed by the (hashable, frozen) ``costs``, so a
-    program swept across many designs decodes once per cost model.
+    ``cost`` its pre-folded base cycle cost. The decode is cached at two
+    levels, keyed by the (hashable, frozen) ``costs``: on ``program.meta``
+    for instance reuse, and in the process-global content-keyed
+    ``_DECODE_SHARED`` so rebuilt copies of the same kernel (sweep pool
+    workers, per-test builds) decode once per process per cost model.
     """
     cache = program.meta.setdefault(_DECODE_CACHE_KEY, {})
     code = cache.get(costs)
     if code is None:
-        table = _base_cost_table(costs)
-        internal = _INTERNAL
-        code = []
-        for idx, (op, a, b, c) in enumerate(program.instructions):
-            if a == 0 and op in _DEST_A_OPS:
-                a = _SINK
-            code.append((internal[op], a, b, c,
-                         idx >> _ILINE_SHIFT, table[op]))
+        shared_key = (program_content_key(program), costs)
+        code = _DECODE_SHARED.get(shared_key)
+        if code is None:
+            table = _base_cost_table(costs)
+            internal = _INTERNAL
+            code = []
+            for idx, (op, a, b, c) in enumerate(program.instructions):
+                if a == 0 and op in _DEST_A_OPS:
+                    a = _SINK
+                code.append((internal[op], a, b, c,
+                             idx >> _ILINE_SHIFT, table[op]))
+            if len(_DECODE_SHARED) >= _DECODE_SHARED_CAP:
+                _DECODE_SHARED.clear()
+            _DECODE_SHARED[shared_key] = code
         cache[costs] = code
     return code
 
@@ -461,12 +489,17 @@ class InOrderCore:
 
     # ------------------------------------------------------------------
     def run_to_halt(self, max_instrs: int = 50_000_000) -> int:
-        """Run until HALT (no power failures); returns retired instructions."""
+        """Run until HALT (no power failures); returns retired instructions.
+
+        The final chunk is clamped to the remaining budget, so no more
+        than ``max_instrs`` instructions ever execute; exhausting the
+        budget without halting raises :class:`ExecutionError`.
+        """
         total = 0
         while not self.halted:
-            done, _ = self.run_chunk(65536)
-            total += done
-            if total > max_instrs:
+            if total >= max_instrs:
                 raise ExecutionError(
                     f"{self.program.name}: exceeded {max_instrs} instructions")
+            done, _ = self.run_chunk(min(65536, max_instrs - total))
+            total += done
         return total

@@ -1,0 +1,131 @@
+"""Process-global JIT code cache, keyed by program *content*.
+
+A sweep builds one ``System`` per grid point, and pool workers rebuild
+workload programs from scratch, so caching compiled code on a ``Program``
+instance alone would recompile per point. Instead compiled modules are
+cached process-globally under a content key - ``(name, mem_bytes,
+instruction tuple)`` plus the frozen :class:`CycleCosts` - so a 500-point
+sweep compiles each kernel once per cost model per process. A per-program
+``meta`` shortcut skips even the key lookup after the first attach.
+
+What is cached is the compiled *module code object* (whose ``_bind``
+builds the dispatch table); binding executes it in a fresh namespace per
+core, producing cheap per-core function objects closed over that core's
+memory-system methods. Suffix blocks (mid-block resume points, common
+under small chunk budgets) are compiled lazily and cached alongside.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.cpu.core import program_content_key
+from repro.cpu.costs import CycleCosts
+from repro.isa.program import Program
+from repro.jit.blocks import (block_spans, compile_blocks_source,
+                              compile_suffix_source, compile_trace_source)
+
+_COMPILED_KEY = "_jit_compiled"
+
+#: Maximum instructions a trace may inline. Also the dispatch threshold:
+#: the dispatcher only runs traces while the remaining chunk budget is at
+#: least this large, so a trace can never overshoot the budget and tight
+#: (power-trace) chunks keep using exactly-bounded basic blocks.
+TRACE_CAP = 256
+
+#: content-key -> CompiledProgram; bounded only by distinct (kernel, cost
+#: model) pairs per process, which a sweep keeps small. The cap is a
+#: backstop for program-fuzzing tests.
+_CODE_CACHE: dict[tuple, "CompiledProgram"] = {}
+_CACHE_CAP = 512
+
+_STATS = {"compiles": 0, "hits": 0, "suffix_compiles": 0,
+          "trace_compiles": 0}
+
+
+class CompiledProgram:
+    """Compiled form of one (program content, cost model) pair."""
+
+    __slots__ = ("program", "costs", "n", "source", "module_code",
+                 "block_meta", "_starts", "_suffix_codes", "_trace_codes")
+
+    def __init__(self, program: Program, costs: CycleCosts):
+        self.program = program
+        self.costs = costs
+        self.n = len(program.instructions)
+        self.source, self.block_meta = compile_blocks_source(program, costs)
+        self.module_code = compile(
+            self.source, f"<jit:{program.name}>", "exec")
+        self._starts = sorted(s for s, _e in block_spans(program))
+        self._suffix_codes: dict[int, object] = {}
+        self._trace_codes: dict[int, object] = {}
+
+    def bind(self, args: tuple) -> list:
+        """Instantiate the per-core dispatch table: ``table[leader] =
+        (fn, length)``, ``None`` at non-leader indices."""
+        ns: dict = {}
+        exec(self.module_code, ns)
+        return ns["_bind"](*args)
+
+    def suffix_entry(self, pc: int, args: tuple) -> tuple:
+        """Bind the suffix block resuming at mid-block ``pc`` (compiling
+        it on first demand, then reusing the cached code object)."""
+        code = self._suffix_codes.get(pc)
+        if code is None:
+            j = bisect_right(self._starts, pc)
+            end = self._starts[j] if j < len(self._starts) else self.n
+            src = compile_suffix_source(self.program, self.costs, pc, end)
+            code = compile(src, f"<jit:{self.program.name}+{pc}>", "exec")
+            self._suffix_codes[pc] = code
+            _STATS["suffix_compiles"] += 1
+        ns: dict = {}
+        exec(code, ns)
+        return ns["_bind"](*args)
+
+    def trace_entry(self, pc: int, args: tuple) -> tuple:
+        """Bind the trace rooted at ``pc`` (compiled on first demand per
+        process, then shared across cores like the block module)."""
+        code = self._trace_codes.get(pc)
+        if code is None:
+            src = compile_trace_source(self.program, self.costs, pc,
+                                       TRACE_CAP)
+            code = compile(src, f"<jit:{self.program.name}~{pc}>", "exec")
+            self._trace_codes[pc] = code
+            _STATS["trace_compiles"] += 1
+        ns: dict = {}
+        exec(code, ns)
+        return ns["_bind"](*args)
+
+
+def get_compiled(program: Program, costs: CycleCosts) -> CompiledProgram:
+    """The compiled form for ``(program, costs)``, via the per-program
+    shortcut, then the process-global content-keyed cache."""
+    per_program = program.meta.setdefault(_COMPILED_KEY, {})
+    compiled = per_program.get(costs)
+    if compiled is None:
+        key = (program_content_key(program), costs)
+        compiled = _CODE_CACHE.get(key)
+        if compiled is None:
+            if len(_CODE_CACHE) >= _CACHE_CAP:
+                _CODE_CACHE.clear()
+            compiled = CompiledProgram(program, costs)
+            _CODE_CACHE[key] = compiled
+            _STATS["compiles"] += 1
+        else:
+            _STATS["hits"] += 1
+        per_program[costs] = compiled
+    else:
+        _STATS["hits"] += 1
+    return compiled
+
+
+def code_cache_stats() -> dict:
+    """Cache counters (for benchmarks and tests)."""
+    return {"programs": len(_CODE_CACHE), **_STATS}
+
+
+def clear_code_cache() -> None:
+    """Drop all compiled code (tests)."""
+    _CODE_CACHE.clear()
+    for k in _STATS:
+        _STATS[k] = 0

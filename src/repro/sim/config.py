@@ -136,6 +136,12 @@ class SimConfig:
     #: ``RunResult.metrics``. ``REPRO_TRACE=1`` in the environment enables
     #: it too; when neither is set the runtime cost is zero.
     trace: bool = False
+    #: Compile the guest program's basic blocks to specialized Python
+    #: (:mod:`repro.jit`) and dispatch block-at-a-time. Results are
+    #: bit-identical to the interpreter; the JIT disengages automatically
+    #: when the trace recorder or invariant checker is attached.
+    #: ``REPRO_JIT=1`` in the environment enables it too.
+    jit: bool = False
     chunk_instrs: int = 32
     max_instructions: int = 60_000_000
     max_outages: int = 100_000

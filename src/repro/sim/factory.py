@@ -16,6 +16,7 @@ from repro.energy.synthetic import make_trace
 from repro.energy.traces import PowerTrace
 from repro.errors import ConfigError
 from repro.isa.program import Program
+from repro.jit import attach_jit, jit_enabled
 from repro.lint.invariants import attach_invariants, invariants_enabled
 from repro.mem.memsys import NoCacheNVP
 from repro.obs.recorder import attach_trace, trace_enabled
@@ -107,6 +108,10 @@ def build_system(program: Program, design_name: str,
     system = System(program, design, config, trace, costs)
     if config.trace or trace_enabled():
         attach_trace(system)
+    if config.jit or jit_enabled():
+        # attached last so it sees (and yields to) any instrumentation
+        # wrappers: under trace/check it silently stays off
+        attach_jit(system.core)
     return system
 
 
