@@ -58,6 +58,10 @@ def _add_sim_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--jit", action="store_true",
                    help="compile guest basic blocks to specialized Python "
                         "(bit-identical results, faster simulation)")
+    p.add_argument("--memfast", action="store_true",
+                   help="enable the memory-hierarchy fast path "
+                        "(specialized hit handlers, bit-identical results; "
+                        "composes with --jit)")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the crash-consistency check")
     p.add_argument("--stats-json", default=None, metavar="PATH",
@@ -80,6 +84,8 @@ def _overrides(args) -> dict:
         out["trace_seed"] = args.seed
     if args.jit:
         out["jit"] = True
+    if args.memfast:
+        out["memfast"] = True
     return out
 
 

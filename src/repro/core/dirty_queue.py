@@ -29,15 +29,19 @@ class DQEntry:
 
     ``in_flight`` marks entries whose line is being written back
     asynchronously; they stay in the queue until the ACK arrives (§5.3
-    step 4) so JIT checkpointing always covers them.
+    step 4) so JIT checkpointing always covers them. ``queued`` mirrors
+    membership in ``DirtyQueue.entries`` so ACK retirement can test it in
+    O(1) instead of scanning the queue; the queue maintains it on every
+    insert/remove/clear.
     """
 
-    __slots__ = ("lineno", "in_flight", "seq")
+    __slots__ = ("lineno", "in_flight", "seq", "queued")
 
     def __init__(self, lineno: int, seq: int):
         self.lineno = lineno
         self.in_flight = False
         self.seq = seq
+        self.queued = True
 
     def __repr__(self) -> str:
         flag = "*" if self.in_flight else ""
@@ -114,6 +118,7 @@ class DirtyQueue:
             if line is None or not line.dirty:
                 # stale (evicted, re-filled, or already cleaned): drop & retry
                 self.entries.remove(chosen)
+                chosen.queued = False
                 self.stale_drops += 1
                 continue
             return chosen
@@ -121,8 +126,11 @@ class DirtyQueue:
     def remove(self, entry: DQEntry) -> None:
         """Remove a specific entry (on write-back ACK, §5.3 step 4)."""
         self.entries.remove(entry)
+        entry.queued = False
 
     def clear(self) -> None:
+        for entry in self.entries:
+            entry.queued = False
         self.entries.clear()
 
     def line_numbers(self) -> list[int]:

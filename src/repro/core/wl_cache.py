@@ -27,6 +27,8 @@ line before that line is evicted or re-filled.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.caches.base import CachedMemorySystem
 from repro.core.dirty_queue import DQ_LRU, DirtyQueue, DQEntry
 from repro.errors import ConfigError, ReproError
@@ -68,7 +70,10 @@ class WLCache(CachedMemorySystem):
         self.maxline = maxline
         self.waterline = waterline if waterline is not None else maxline - 1
         self._check_thresholds(self.maxline, self.waterline)
-        self.pending: list[PendingWB] = []
+        # ACKs arrive in issue order, so retirement is almost always a
+        # popleft; the deque is never rebound (cleared in place) because
+        # the fast-path tier binds the object itself.
+        self.pending: deque[PendingWB] = deque()
         self._channel_free = 0  # cycle when the NVM write channel is idle
         #: optional hook consulted before stalling; returning True raises
         #: maxline by one (dynamic adaptation, §4)
@@ -101,8 +106,12 @@ class WLCache(CachedMemorySystem):
     def _retire_pending(self, p: PendingWB) -> None:
         """Apply a write-back's data to NVM and free its queue entry."""
         self.nvm.write_line(p.addr, p.data)
-        self.pending.remove(p)
-        if p.entry in self.dq.entries:
+        pending = self.pending
+        if pending and pending[0] is p:
+            pending.popleft()  # in-order ACK: the common case, O(1)
+        else:
+            pending.remove(p)  # same-line flush retiring mid-queue
+        if p.entry.queued:
             self.dq.remove(p.entry)
 
     def _retire_acks(self, now: int) -> None:
@@ -176,6 +185,8 @@ class WLCache(CachedMemorySystem):
     # eviction/fill ordering overrides
     # ------------------------------------------------------------------
     def _flush_same_line_pending(self, lineno: int) -> None:
+        if not self.pending:  # runs on every evict and fill: skip the scan
+            return
         for p in [p for p in self.pending if p.lineno == lineno]:
             self._retire_pending(p)
 

@@ -126,7 +126,8 @@ def _io(op: int, a: int, b: int, c: int):
 class _BlockEmitter:
     """Emits the Python source of one basic block ``[start, end)``."""
 
-    def __init__(self, program: Program, costs: CycleCosts):
+    def __init__(self, program: Program, costs: CycleCosts,
+                 memfast: str | bool = False):
         self.instrs = program.instructions
         self.name = program.name
         self.mem_bytes = program.mem_bytes
@@ -134,6 +135,11 @@ class _BlockEmitter:
         self.c_brx = costs.branch_taken_extra
         self.c_mem = costs.mem_issue
         self.c_imiss = costs.ifetch_miss
+        #: inline the memfast load-hit probe (MRU tag check + deferred
+        #: stats) instead of calling ``_load``; the probe's runtime
+        #: bindings arrive through the ``_mf`` tuple so one compiled
+        #: module still serves every geometry in a sweep
+        self.memfast = memfast
 
     # -- per-emit state ------------------------------------------------
     def _reset(self, start: int, end: int) -> None:
@@ -320,7 +326,28 @@ class _BlockEmitter:
         self._emit_addr(idx, b, c, align, mnemonic)
         self._flush()
         src = "_a" if op == oc.LW else f"_a & {_U32 & ~3}"
-        self._emit(f"_v, _l = _load({src}, cycle)")
+        if self.memfast:
+            # inline the fast load-hit probe: a tag match on the MRU way
+            # yields the word with the deferred-stats bookkeeping done in
+            # place; anything else (MRU stale, miss) calls the bound fast
+            # handler, which re-probes the set and handles the bail.
+            # ``_a >> _mfs`` == ``(_a & ~3) >> _mfs`` (line shift >= 2),
+            # ditto the word index, so subword loads share the hit path.
+            self._emit("_ln = _a >> _mfs")
+            self._emit("_li = _mru[_ln & _mfm]")
+            self._emit("if _li.tag == _ln:")
+            self._emit("    if _mfl:")
+            self._emit("        _acc[4] = _ts = _acc[4] + 1")
+            self._emit("        _li.use_stamp = _ts")
+            self._emit("    _acc[0] += 1")
+            self._emit("    _acc[2] += _mfe")
+            self._emit("    _v = _li.data[(_a >> 2) & _mfw]")
+            self._emit("    cycle += _mfh")
+            self._emit("else:")
+            self._emit(f"    _v, _l = _load({src}, cycle)")
+            self._emit("    cycle += _l")
+        else:
+            self._emit(f"_v, _l = _load({src}, cycle)")
         if a != _SINK:
             if op == oc.LW:
                 self._emit(f"r{a} = _v")
@@ -335,25 +362,78 @@ class _BlockEmitter:
                 self._emit("_v = (_v >> ((_a & 2) * 8)) & 65535")
                 self._emit(f"r{a} = _v | {0xFFFF0000} if _v & 32768 else _v")
             self._mark_write(a)
-        self._emit("cycle += _l")
+        if not self.memfast:  # memfast branches update cycle themselves
+            self._emit("cycle += _l")
         self.acc += self.c_mem
         self.nl += 1
+
+    def _emit_store_hit(self, guard: str, slow: str, dirty: bool,
+                        masked: bool, val: str) -> None:
+        """The inline store-hit body shared by the SW/SB/SH emitters.
+
+        Mirrors the memfast handlers' hit branch statement for statement
+        (stamp, stores, write energy, write_hits, merge) so the deferred
+        accumulator sees the identical update sequence; anything the
+        guard rejects calls the bound fast handler, which re-probes and
+        handles the bail to the bracketed slow path.
+        """
+        self._emit(f"if {guard}:")
+        self._emit("    if _mfl:")
+        self._emit("        _acc[4] = _ts = _acc[4] + 1")
+        self._emit("        _li.use_stamp = _ts")
+        self._emit("    _acc[1] += 1")
+        self._emit("    _acc[3] += _mfew")
+        if masked:
+            self._emit("    _wi = (_a >> 2) & _mfw")
+            self._emit("    _d = _li.data")
+            self._emit(f"    _d[_wi] = (_d[_wi] & ~_m) | {val}")
+        else:
+            self._emit(f"    _li.data[(_a >> 2) & _mfw] = {val} & {_U32}")
+        if dirty:
+            self._emit("    _li.dirty = True")
+        self._emit("    cycle += _mfhw")
+        self._emit("else:")
+        self._emit(f"    cycle += {slow}")
 
     def _emit_store(self, idx: int, op: int, a: int, b: int, c: int) -> None:
         align, mnemonic = _STORE_FAULT[op]
         self._emit_addr(idx, b, c, align, mnemonic)
         self._flush()
         val = self._src(a)
+        shape = self.memfast if self.memfast in ("wl", "wb") else None
+        if shape is not None:
+            # inline the fast store-hit probe. "wb" fast-paths any tag
+            # hit (hit stores just dirty the line); "wl" only an
+            # already-dirty line with no ACK due - the clean->dirty
+            # transition and ACK retirement go through the bound fast
+            # handler (DirtyQueue insert, waterline guard, slow bails).
+            # ``_a >> _mfs`` and ``(_a >> 2) & _mfw`` are alignment-
+            # independent (shift >= 2), so subword stores share the path.
+            self._emit("_ln = _a >> _mfs")
+            self._emit("_li = _mru[_ln & _mfm]")
+            if shape == "wl":
+                guard = ("_li.tag == _ln and _li.dirty and not "
+                         "(_pend and _pend[0].ack <= cycle)")
+            else:
+                guard = "_li.tag == _ln"
         if op == oc.SW:
-            self._emit(f"cycle += _store(_a, {val}, cycle)")
-        elif op == oc.SB:
-            self._emit("_s = (_a & 3) * 8")
-            self._emit(f"cycle += _sm(_a & {_U32 & ~3}, "
-                       f"({val} & 255) << _s, 255 << _s, cycle)")
-        else:  # SH
-            self._emit("_s = (_a & 2) * 8")
-            self._emit(f"cycle += _sm(_a & {_U32 & ~3}, "
-                       f"({val} & 65535) << _s, 65535 << _s, cycle)")
+            slow = f"_store(_a, {val}, cycle)"
+            if shape is None:
+                self._emit(f"cycle += {slow}")
+            else:
+                self._emit_store_hit(guard, slow, shape == "wb", False, val)
+        else:
+            unit, umask = (3, 255) if op == oc.SB else (2, 65535)
+            self._emit(f"_s = (_a & {unit}) * 8")
+            if shape is None:
+                self._emit(f"cycle += _sm(_a & {_U32 & ~3}, "
+                           f"({val} & {umask}) << _s, {umask} << _s, cycle)")
+            else:
+                self._emit(f"_m = {umask} << _s")
+                self._emit(f"_bits = ({val} & {umask}) << _s")
+                slow = f"_sm(_a & {_U32 & ~3}, _bits, _m, cycle)"
+                self._emit_store_hit(guard, slow, shape == "wb", True,
+                                     "_bits")
         self.acc += self.c_mem
         self.ns += 1
 
@@ -403,9 +483,18 @@ class _BlockEmitter:
         """Function header: def line, cycle local, entry register loads.
         Runtime bindings arrive as default arguments, the fastest way to
         give generated code access to non-local state."""
+        extra = ""
+        if self.memfast:
+            extra = (", _mru=_mru, _acc=_acc, _mfs=_mfs, _mfm=_mfm, "
+                     "_mfw=_mfw, _mfe=_mfe, _mfh=_mfh, _mfl=_mfl")
+            if self.memfast in ("wl", "wb"):
+                extra += ", _mfew=_mfew, _mfhw=_mfhw"
+            if self.memfast == "wl":
+                extra += ", _pend=_pend"
         head = [
             f"    def {fname}(regs, st, _load=_load, _store=_store, "
-            f"_sm=_sm, _lines=_lines, _sdiv=_sdiv, _srem=_srem, _EE=_EE):",
+            f"_sm=_sm, _lines=_lines, _sdiv=_sdiv, _srem=_srem, "
+            f"_EE=_EE{extra}):",
             "        cycle = st[0]",
         ]
         for reg in self._prescan(indices):
@@ -528,23 +617,41 @@ class _BlockEmitter:
         return "\n".join(head + self.lines), len(path)
 
 
-def compile_blocks_source(program: Program,
-                          costs: CycleCosts) -> tuple[str, dict]:
+def _bind_header(memfast) -> list[str]:
+    """The ``_bind`` def line (plus the ``_mf`` unpack in memfast mode).
+
+    ``_mf`` is accepted by every module so the dispatcher can use one
+    calling convention; memfast modules unpack it into the inline hit
+    probes' bindings (MRU list, accumulator, shift/masks, energies, hit
+    latencies, LRU flag, ACK deque - all runtime values, never literals,
+    so the compiled module is shared across geometries and cost sweeps;
+    only the store *family* is compiled in, via ``memfast``).
+    """
+    lines = ["def _bind(_load, _store, _sm, _lines, _sdiv, _srem, _EE, "
+             "_mf=None):"]
+    if memfast:
+        lines.append("    (_mru, _acc, _mfs, _mfm, _mfw, _mfe, _mfh, "
+                     "_mfl, _mfew, _mfhw, _pend) = _mf")
+    return lines
+
+
+def compile_blocks_source(program: Program, costs: CycleCosts,
+                          memfast: str | bool = False) -> tuple[str, dict]:
     """Source of the whole-program JIT module plus block metadata.
 
     The module defines ``_bind(_load, _store, _sm, _lines, _sdiv, _srem,
-    _EE)`` returning a pc-indexed dispatch table: ``table[start] = (fn,
-    length)`` for each block leader, ``None`` elsewhere (retirement and
-    halting are reported through ``st[7]``/``st[8]``). Binding is cheap
-    (function objects over shared code), so each core gets its own table
-    closed over its own memory system.
+    _EE, _mf=None)`` returning a pc-indexed dispatch table: ``table[start]
+    = (fn, length)`` for each block leader, ``None`` elsewhere (retirement
+    and halting are reported through ``st[7]``/``st[8]``). Binding is
+    cheap (function objects over shared code), so each core gets its own
+    table closed over its own memory system.
     """
     n = len(program.instructions)
     spans = block_spans(program)
-    emitter = _BlockEmitter(program, costs)
+    emitter = _BlockEmitter(program, costs, memfast)
     parts = [
         f"# JIT blocks for {program.name!r} (generated; costs baked in)",
-        "def _bind(_load, _store, _sm, _lines, _sdiv, _srem, _EE):",
+        *_bind_header(memfast),
         f"    _table = [None] * {n}",
     ]
     meta: dict[int, tuple[int, bool]] = {}
@@ -558,31 +665,33 @@ def compile_blocks_source(program: Program,
 
 
 def compile_suffix_source(program: Program, costs: CycleCosts,
-                          start: int, end: int) -> str:
+                          start: int, end: int,
+                          memfast: str | bool = False) -> str:
     """Source for a *suffix block* ``[start, end)`` - the tail of a basic
     block, compiled on demand when execution resumes mid-block (a chunk
     budget or power failure interrupted the enclosing block). The module's
     ``_bind`` returns a single ``(fn, length)`` entry."""
-    emitter = _BlockEmitter(program, costs)
+    emitter = _BlockEmitter(program, costs, memfast)
     src, _halts = emitter.emit(start, end, f"_s{start}")
     return "\n".join([
         f"# JIT suffix block [{start}, {end}) for {program.name!r}",
-        "def _bind(_load, _store, _sm, _lines, _sdiv, _srem, _EE):",
+        *_bind_header(memfast),
         src,
         f"    return (_s{start}, {end - start})",
     ]) + "\n"
 
 
 def compile_trace_source(program: Program, costs: CycleCosts,
-                         start: int, cap: int) -> str:
+                         start: int, cap: int,
+                         memfast: str | bool = False) -> str:
     """Source for a *trace* rooted at ``start`` (see the module docstring).
     The module's ``_bind`` returns a single ``(fn, max_retire)`` entry;
     the actual retirement of each call arrives through ``st[7]``."""
-    emitter = _BlockEmitter(program, costs)
+    emitter = _BlockEmitter(program, costs, memfast)
     src, length = emitter.emit_trace(start, cap, f"_t{start}")
     return "\n".join([
         f"# JIT trace @{start} (cap {cap}) for {program.name!r}",
-        "def _bind(_load, _store, _sm, _lines, _sdiv, _srem, _EE):",
+        *_bind_header(memfast),
         src,
         f"    return (_t{start}, {length})",
     ]) + "\n"

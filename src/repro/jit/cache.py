@@ -44,16 +44,26 @@ _STATS = {"compiles": 0, "hits": 0, "suffix_compiles": 0,
 
 
 class CompiledProgram:
-    """Compiled form of one (program content, cost model) pair."""
+    """Compiled form of one (program content, cost model, memfast) triple.
 
-    __slots__ = ("program", "costs", "n", "source", "module_code",
-                 "block_meta", "_starts", "_suffix_codes", "_trace_codes")
+    ``memfast=True`` modules inline the fast-path load-hit probe (see
+    :mod:`repro.memfast`); their ``_bind`` takes the extra ``_mf``
+    bindings tuple. Cached separately from plain modules because the
+    generated source differs.
+    """
 
-    def __init__(self, program: Program, costs: CycleCosts):
+    __slots__ = ("program", "costs", "memfast", "n", "source",
+                 "module_code", "block_meta", "_starts", "_suffix_codes",
+                 "_trace_codes")
+
+    def __init__(self, program: Program, costs: CycleCosts,
+                 memfast: str | bool = False):
         self.program = program
         self.costs = costs
+        self.memfast = memfast
         self.n = len(program.instructions)
-        self.source, self.block_meta = compile_blocks_source(program, costs)
+        self.source, self.block_meta = compile_blocks_source(
+            program, costs, memfast)
         self.module_code = compile(
             self.source, f"<jit:{program.name}>", "exec")
         self._starts = sorted(s for s, _e in block_spans(program))
@@ -74,7 +84,8 @@ class CompiledProgram:
         if code is None:
             j = bisect_right(self._starts, pc)
             end = self._starts[j] if j < len(self._starts) else self.n
-            src = compile_suffix_source(self.program, self.costs, pc, end)
+            src = compile_suffix_source(self.program, self.costs, pc, end,
+                                        self.memfast)
             code = compile(src, f"<jit:{self.program.name}+{pc}>", "exec")
             self._suffix_codes[pc] = code
             _STATS["suffix_compiles"] += 1
@@ -88,7 +99,7 @@ class CompiledProgram:
         code = self._trace_codes.get(pc)
         if code is None:
             src = compile_trace_source(self.program, self.costs, pc,
-                                       TRACE_CAP)
+                                       TRACE_CAP, self.memfast)
             code = compile(src, f"<jit:{self.program.name}~{pc}>", "exec")
             self._trace_codes[pc] = code
             _STATS["trace_compiles"] += 1
@@ -97,23 +108,25 @@ class CompiledProgram:
         return ns["_bind"](*args)
 
 
-def get_compiled(program: Program, costs: CycleCosts) -> CompiledProgram:
-    """The compiled form for ``(program, costs)``, via the per-program
-    shortcut, then the process-global content-keyed cache."""
+def get_compiled(program: Program, costs: CycleCosts,
+                 memfast: str | bool = False) -> CompiledProgram:
+    """The compiled form for ``(program, costs, memfast)``, via the
+    per-program shortcut, then the process-global content-keyed cache."""
     per_program = program.meta.setdefault(_COMPILED_KEY, {})
-    compiled = per_program.get(costs)
+    meta_key = (costs, memfast)
+    compiled = per_program.get(meta_key)
     if compiled is None:
-        key = (program_content_key(program), costs)
+        key = (program_content_key(program), costs, memfast)
         compiled = _CODE_CACHE.get(key)
         if compiled is None:
             if len(_CODE_CACHE) >= _CACHE_CAP:
                 _CODE_CACHE.clear()
-            compiled = CompiledProgram(program, costs)
+            compiled = CompiledProgram(program, costs, memfast)
             _CODE_CACHE[key] = compiled
             _STATS["compiles"] += 1
         else:
             _STATS["hits"] += 1
-        per_program[costs] = compiled
+        per_program[meta_key] = compiled
     else:
         _STATS["hits"] += 1
     return compiled

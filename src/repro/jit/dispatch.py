@@ -68,11 +68,21 @@ class JITState:
 
 
 def _shadowed(core: InOrderCore) -> bool:
-    """True when instrumentation has wrapped a method the JIT inlines."""
+    """True when instrumentation has wrapped a method the JIT inlines.
+
+    The memfast tier's handlers (marked ``_memfast``) are the one kind
+    of shadow the JIT cooperates with: compiled code binds them directly
+    and the fast path's chunk-flush wrapper goes on *after* the JIT, so
+    anything it finds already on ``run_chunk`` is a real wrapper.
+    """
     if "run_chunk" in vars(core):
         return True
     mem_dict = vars(core.memsys)
-    return any(name in mem_dict for name in _INLINED_MEM_METHODS)
+    for name in _INLINED_MEM_METHODS:
+        fn = mem_dict.get(name)
+        if fn is not None and not getattr(fn, "_memfast", False):
+            return True
+    return False
 
 
 def attach_jit(core: InOrderCore) -> JITState | None:
@@ -88,12 +98,25 @@ def attach_jit(core: InOrderCore) -> JITState | None:
         return state
     if _shadowed(core):
         return None
-    compiled = get_compiled(core.program, core.costs)
     mem = core.memsys
+    # With the memfast tier attached, compile in memfast mode: load and
+    # store hits are inlined against the ``_mf`` runtime bindings and the
+    # bound ``_load``/``_store``/``_sm`` below are the fast handlers. The
+    # module variant is keyed by the design's store family ("base" keeps
+    # stores as calls; "wl"/"wb" additionally inline that store hit), so
+    # one compiled module is shared across every geometry sweep point of
+    # a family.
+    mf_state = getattr(mem, "_memfast_state", None)
+    mf = mf_state.jit_bindings() if mf_state is not None else None
+    mf_mode = (mf_state.store_shape or "base") if mf_state is not None \
+        else False
+    compiled = get_compiled(core.program, core.costs, memfast=mf_mode)
     # ``ic_lines`` is mutated in place everywhere (flush uses .clear()),
     # so binding the set object itself is safe for the core's lifetime.
     bind_args = (mem.load, mem.store, mem.store_masked, core.ic_lines,
                  _sdiv, _srem, ExecutionError)
+    if mf is not None:
+        bind_args += (mf,)
     table = compiled.bind(bind_args)
     state = JITState(compiled, table, bind_args)
     core.run_chunk = _make_run_chunk(core, state)
@@ -104,11 +127,21 @@ def attach_jit(core: InOrderCore) -> JITState | None:
 def detach_jit(core: InOrderCore) -> bool:
     """Remove the JIT ``run_chunk``, restoring the interpreter. Used by
     the trace recorder when it attaches to an already-JITted core (its
-    wrappers must see every memory call). Returns True if detached."""
+    wrappers must see every memory call). Returns True if detached.
+
+    When the memfast chunk-flush wrapper sits on top of the dispatcher,
+    the whole fast tier comes off with the JIT: the interpreter would
+    otherwise bind the fast handlers with no chunk-end flush left to
+    publish their deferred stats.
+    """
     if getattr(core, "_jit_state", None) is None:
         return False
+    rc = vars(core).get("run_chunk")
     del core.run_chunk
     del core._jit_state
+    if rc is not None and getattr(rc, "_memfast", False):
+        from repro.memfast import detach_design
+        detach_design(core.memsys)
     return True
 
 
@@ -129,6 +162,9 @@ def _make_run_chunk(core: InOrderCore, state: JITState):
     bind_args = state.bind_args
     prog_n = len(core.program.instructions)
     trace_cap = TRACE_CAP
+    # pc-indexed memo of the bound trace functions: the hot dispatch is
+    # a list index instead of a dict probe plus tuple unpack
+    tfns: list = [None] * prog_n
     # the *pristine* interpreter, for budget tails (bound to the class so
     # a shadowed instance attribute can never recurse into us)
     interp = InOrderCore.run_chunk.__get__(core, InOrderCore)
@@ -149,10 +185,13 @@ def _make_run_chunk(core: InOrderCore, state: JITState):
             while n < max_instrs:
                 rem = max_instrs - n
                 if rem >= trace_cap and 0 <= pc < prog_n:
-                    entry = traces.get(pc)
-                    if entry is None:
-                        entry = traces[pc] = trace_entry(pc, bind_args)
-                    pc = entry[0](regs, st)
+                    fn = tfns[pc]
+                    if fn is None:
+                        entry = traces.get(pc)
+                        if entry is None:
+                            entry = traces[pc] = trace_entry(pc, bind_args)
+                        fn = tfns[pc] = entry[0]
+                    pc = fn(regs, st)
                     n += st[7]
                     if st[8]:  # trace parked on HALT
                         halted = True

@@ -109,17 +109,29 @@ class SetAssocArray:
         self.set_mask = geometry.set_mask
         self.words_per_line = wpl
         self._lru = replacement == LRU
+        # MRU-way cache: the line that last hit (or was installed) per set.
+        # Purely a lookup accelerator - a hit is still decided by the tag
+        # check, and lines mutate in place, so a stale pointer just misses
+        # into the normal set probe. Never rebound (the fast-path tier
+        # binds the list object itself).
+        self.mru: list[CacheLine] = [cset[0] for cset in self.sets]
 
     def find(self, addr: int) -> CacheLine | None:
         """Return the valid line holding ``addr``, updating LRU stamps."""
         lineno = addr >> self.line_shift
-        for line in self.sets[lineno & self.set_mask]:
-            if line.tag == lineno:  # invalid lines hold tag -1: never hits
-                if self._lru:
-                    self._stamp += 1
-                    line.use_stamp = self._stamp
-                return line
-        return None
+        si = lineno & self.set_mask
+        line = self.mru[si]
+        if line.tag != lineno:
+            for line in self.sets[si]:
+                if line.tag == lineno:  # invalid lines hold tag -1: no hit
+                    self.mru[si] = line
+                    break
+            else:
+                return None
+        if self._lru:
+            self._stamp += 1
+            line.use_stamp = self._stamp
+        return line
 
     def peek(self, addr: int) -> CacheLine | None:
         """Like :meth:`find` but with no replacement-state side effects."""
@@ -156,6 +168,7 @@ class SetAssocArray:
         self._stamp += 1
         line.use_stamp = self._stamp
         line.fill_stamp = self._stamp
+        self.mru[lineno & self.set_mask] = line
         return line
 
     def line_addr(self, line: CacheLine) -> int:

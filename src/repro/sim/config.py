@@ -142,6 +142,13 @@ class SimConfig:
     #: when the trace recorder or invariant checker is attached.
     #: ``REPRO_JIT=1`` in the environment enables it too.
     jit: bool = False
+    #: Attach the memory-hierarchy fast path (:mod:`repro.memfast`):
+    #: geometry-specialized hit handlers with deferred stats, bit-identical
+    #: to the slow path. Composes with ``jit`` (compiled blocks then bind
+    #: the fast handlers and inline the load-hit probe); disengages
+    #: automatically when the trace recorder or invariant checker is
+    #: attached. ``REPRO_MEMFAST=1`` in the environment enables it too.
+    memfast: bool = False
     chunk_instrs: int = 32
     max_instructions: int = 60_000_000
     max_outages: int = 100_000

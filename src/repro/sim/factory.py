@@ -19,6 +19,7 @@ from repro.isa.program import Program
 from repro.jit import attach_jit, jit_enabled
 from repro.lint.invariants import attach_invariants, invariants_enabled
 from repro.mem.memsys import NoCacheNVP
+from repro.memfast import attach_memfast, finish_memfast, memfast_enabled
 from repro.obs.recorder import attach_trace, trace_enabled
 from repro.mem.nvm import NVMainMemory
 from repro.sim.config import DESIGNS, SimConfig
@@ -108,10 +109,20 @@ def build_system(program: Program, design_name: str,
     system = System(program, design, config, trace, costs)
     if config.trace or trace_enabled():
         attach_trace(system)
+    use_memfast = config.memfast or memfast_enabled()
+    if use_memfast:
+        # handlers go on before the JIT so compiled blocks bind them;
+        # under trace/check shadowing it silently stays off
+        attach_memfast(system)
     if config.jit or jit_enabled():
-        # attached last so it sees (and yields to) any instrumentation
-        # wrappers: under trace/check it silently stays off
+        # attached after memfast (whose handlers it cooperates with) but
+        # yielding to any instrumentation wrappers: under trace/check it
+        # silently stays off
         attach_jit(system.core)
+    if use_memfast:
+        # the chunk-end flush wraps whichever run_chunk won: interpreter
+        # or JIT dispatcher
+        finish_memfast(system)
     return system
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigError, SweepError
 from repro.jit import ENV_VAR as _JIT_ENV
 from repro.lint.invariants import ENV_VAR as _CHECK_ENV
+from repro.memfast import ENV_VAR as _MEMFAST_ENV
 from repro.obs.recorder import ENV_VAR as _TRACE_ENV
 from repro.sim.config import SimConfig
 from repro.sim.factory import run_one, validate_design
@@ -100,19 +101,21 @@ def run_task(task: SweepTask) -> RunResult:
 
 
 def _init_worker(check_env: str | None, trace_env: str | None,
-                 jit_env: str | None = None) -> None:
+                 jit_env: str | None = None,
+                 memfast_env: str | None = None) -> None:
     """Worker initializer: re-export the instrumentation switches.
 
     Pools spawned with a non-fork start method begin from a fresh
     interpreter whose environment may not mirror the parent's, so the
-    invariant-checking (REPRO_CHECK), tracing (REPRO_TRACE), and JIT
-    (REPRO_JIT) switches are shipped explicitly - a checked/traced/JITted
-    parallel sweep must apply them in every worker, not just the parent.
-    The worker's process-global JIT code cache then compiles each kernel
-    once and reuses it across all the tasks the worker executes.
+    invariant-checking (REPRO_CHECK), tracing (REPRO_TRACE), JIT
+    (REPRO_JIT), and fast-path (REPRO_MEMFAST) switches are shipped
+    explicitly - a checked/traced/JITted parallel sweep must apply them
+    in every worker, not just the parent. The worker's process-global
+    JIT code cache then compiles each kernel once and reuses it across
+    all the tasks the worker executes.
     """
     for var, value in ((_CHECK_ENV, check_env), (_TRACE_ENV, trace_env),
-                       (_JIT_ENV, jit_env)):
+                       (_JIT_ENV, jit_env), (_MEMFAST_ENV, memfast_env)):
         if value is None:
             os.environ.pop(var, None)
         else:
@@ -193,7 +196,8 @@ def run_tasks(tasks: list[SweepTask], jobs: int | None = None,
                              initializer=_init_worker,
                              initargs=(os.environ.get(_CHECK_ENV),
                                        os.environ.get(_TRACE_ENV),
-                                       os.environ.get(_JIT_ENV))) as pool:
+                                       os.environ.get(_JIT_ENV),
+                                       os.environ.get(_MEMFAST_ENV))) as pool:
         futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
         pending = set(futures)
         while pending:

@@ -1,0 +1,153 @@
+"""Hypothesis differential: the memfast tier is bit-identical to the
+slow path under randomized access sequences.
+
+Two freshly built copies of the same design over identically seeded NVM
+run the same randomized sequence of word loads, word stores, subword
+stores (SB/SH via ``store_masked``), and checkpoint-protocol calls - one
+pristine, one with :func:`repro.memfast.attach_design` installed. After
+every sequence the fast side is flushed (via detach) and *everything*
+observable is compared exactly: per-op return values and latencies,
+every :class:`MemStats` field including the energy floats, the cache
+array's full line state (tag/valid/dirty/data/use_stamp/fill_stamp and
+the LRU stamp), and the NVM words plus its access/energy accounting.
+
+Geometries deliberately range over direct-mapped and 2/4-way arrays,
+16/32/64-byte lines, LRU and FIFO - the handler codegen bakes each
+geometry's shifts, masks, and energy constants into the source, so every
+combination exercises a distinct specialization.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.nvm import NVMainMemory
+from repro.mem.setassoc import CacheGeometry
+from repro.memfast import attach_design, detach_design
+from repro.sim.config import DESIGNS, SimConfig
+from repro.sim.factory import build_design
+
+#: byte span the address strategy covers: 4 KB, far larger than the
+#: largest generated cache, so sequences mix hits, misses, and evictions
+_SPAN_WORDS = 1024
+
+_U32 = 0xFFFFFFFF
+
+@st.composite
+def geometry_st(draw):
+    line_bytes = draw(st.sampled_from([16, 32, 64]))
+    assoc = draw(st.sampled_from([1, 2, 4]))
+    n_sets = draw(st.sampled_from([2, 4]))
+    return CacheGeometry(size_bytes=line_bytes * assoc * n_sets,
+                         assoc=assoc, line_bytes=line_bytes)
+
+
+@st.composite
+def op_st(draw):
+    kind = draw(st.sampled_from(
+        ["load", "load", "load", "store", "store", "store",
+         "sb", "sh", "checkpoint", "power_cycle"]))
+    if kind in ("checkpoint", "power_cycle"):
+        return (kind,)
+    addr = draw(st.integers(0, _SPAN_WORDS - 1)) * 4
+    if kind == "load":
+        return (kind, addr)
+    value = draw(st.integers(0, _U32))
+    if kind == "sb":
+        addr += draw(st.integers(0, 3))
+    elif kind == "sh":
+        addr += draw(st.sampled_from([0, 2]))
+    return (kind, addr, value)
+
+
+def run_ops(m, ops):
+    """Apply one op sequence to a memory system; returns the observation
+    log (every return value and latency, in order)."""
+    now = 0
+    log = []
+    for op in ops:
+        kind = op[0]
+        if kind == "load":
+            value, lat = m.load(op[1], now)
+            log.append(("L", value, lat))
+        elif kind == "store":
+            lat = m.store(op[1], op[2] & _U32, now)
+            log.append(("S", lat))
+        elif kind in ("sb", "sh"):
+            addr, value = op[1], op[2]
+            shift = (addr & 3) * 8
+            umask = 0xFF if kind == "sb" else 0xFFFF
+            lat = m.store_masked(addr & ~3, (value & umask) << shift,
+                                 umask << shift, now)
+            log.append(("M", lat))
+        elif kind == "checkpoint":
+            rep = m.flush_for_checkpoint(now)
+            log.append(("C", rep))
+            lat = rep.cycles
+        else:  # power_cycle: loss then reboot, like System's outage path
+            m.on_power_loss()
+            lat = m.on_boot(False)
+            log.append(("P", lat))
+        now += lat
+    log.append(("F", m.finalize(now)))
+    return log
+
+
+def array_state(m):
+    return [(ln.tag, ln.valid, ln.dirty, list(ln.data),
+             ln.use_stamp, ln.fill_stamp)
+            for cset in m.array.sets for ln in cset], m.array._stamp
+
+
+def nvm_state(nvm):
+    return (nvm.words, nvm.reads, nvm.writes,
+            nvm.energy_read_nj, nvm.energy_write_nj)
+
+
+@settings(max_examples=25, deadline=None)
+@given(design=st.sampled_from(DESIGNS), geometry=geometry_st(),
+       replacement=st.sampled_from(["lru", "fifo"]),
+       ops=st.lists(op_st(), min_size=1, max_size=80))
+def test_fast_path_matches_slow_path(design, geometry, replacement, ops):
+    cfg = SimConfig(geometry=geometry, cache_replacement=replacement)
+    nvm_slow = NVMainMemory([0] * _SPAN_WORDS)
+    nvm_fast = NVMainMemory([0] * _SPAN_WORDS)
+    slow = build_design(design, nvm_slow, cfg)
+    fast = build_design(design, nvm_fast, cfg)
+    assert attach_design(fast) is not None
+
+    slow_log = run_ops(slow, ops)
+    fast_log = run_ops(fast, ops)
+    assert detach_design(fast)  # flushes the accumulator
+
+    assert fast_log == slow_log
+    assert fast.stats == slow.stats  # every counter and energy float
+    assert array_state(fast) == array_state(slow)
+    assert nvm_state(nvm_fast) == nvm_state(nvm_slow)
+
+
+@settings(max_examples=10, deadline=None)
+@given(geometry=geometry_st(),
+       ops=st.lists(op_st(), min_size=1, max_size=60),
+       maxline=st.sampled_from([2, 4, 6]))
+def test_wl_thresholds_sweep_matches(geometry, ops, maxline):
+    """WL-Cache with non-default maxline/waterline: the waterline check
+    is read late-bound by the fast store, so threshold sweeps must stay
+    identical too."""
+    cfg = SimConfig(geometry=geometry, maxline=maxline,
+                    waterline=maxline - 1)
+    nvm_slow = NVMainMemory([0] * _SPAN_WORDS)
+    nvm_fast = NVMainMemory([0] * _SPAN_WORDS)
+    slow = build_design("WL-Cache", nvm_slow, cfg)
+    fast = build_design("WL-Cache", nvm_fast, cfg)
+    assert attach_design(fast) is not None
+
+    slow_log = run_ops(slow, ops)
+    fast_log = run_ops(fast, ops)
+    assert detach_design(fast)
+
+    assert fast_log == slow_log
+    assert fast.stats == slow.stats
+    assert array_state(fast) == array_state(slow)
+    assert nvm_state(nvm_fast) == nvm_state(nvm_slow)
