@@ -1,6 +1,6 @@
-"""CI smoke sweep: a small grid run serial, parallel, under the JIT, AND
-under the JIT with the memfast hit-path tier - all four asserted
-bit-identical.
+"""CI smoke sweep: a small grid run serial, parallel, under the JIT,
+under the JIT with the memfast hit-path tier, AND under the batch
+record/replay tier - all five asserted bit-identical.
 
 Exercises the full stack end to end in about a minute: workload build,
 every major cache design, a real power trace with outages, the crash
@@ -58,9 +58,18 @@ def main() -> int:
         bad = [k for k in serial if serial[k] != fast[k]]
         print(f"FAIL: memfast sweep diverged from the interpreter on {bad}")
         return 1
+
+    t0 = time.perf_counter()
+    batched = run_grid(APPS, DESIGNS, TRACE, jobs=1, jit=True,
+                       memfast=True, batch=True)
+    t_batch = time.perf_counter() - t0
+    if serial != batched:
+        bad = [k for k in serial if serial[k] != batched[k]]
+        print(f"FAIL: batched sweep diverged from the interpreter on {bad}")
+        return 1
     print(f"serial {t_serial:.2f}s / parallel {t_parallel:.2f}s / "
-          f"jit {t_jit:.2f}s / jit+memfast {t_fast:.2f}s - "
-          f"{len(serial)} runs bit-identical")
+          f"jit {t_jit:.2f}s / jit+memfast {t_fast:.2f}s / "
+          f"batch {t_batch:.2f}s - {len(serial)} runs bit-identical")
 
     with open(out_csv, "w", newline="") as f:
         w = csv.writer(f)

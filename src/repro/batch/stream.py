@@ -1,0 +1,272 @@
+"""Guest streams: the recorded execution in replay-ready form.
+
+A :class:`GuestStream` is the structure-of-arrays expansion of one
+recording (:mod:`repro.batch.record`): per-instruction *static* cycle
+costs and branch counts as C-level ``array('q')`` prefix sums, plus a
+sparse, ordered event list holding everything the replay tier must
+actually do - I-cache line crossings and memory operations. Replaying a
+chunk is then O(events in the chunk), not O(instructions): the ALU work
+between events collapses into two prefix-sum lookups.
+
+The expansion splits along what varies per design family:
+
+* the :class:`StreamSkeleton` - event list, branch prefix sum, and the
+  block-entry arrays that recover the architectural pc - depends only on
+  *what* executed, so one skeleton (cached per program content) serves
+  every cost model: ``NVCache-WB``'s private ``ifetch_extra`` family
+  shares it with the SRAM-cost designs;
+* only the static cycle prefix sum (``cum_cycles``) is expanded per
+  (program, cost model).
+
+Event encoding (``i`` is the global retired-instruction index; events
+are ordered by ``i``, with an instruction's line-crossing event before
+its memory event, exactly the interpreter's fetch-then-execute order):
+
+* ``(i, 0, line)`` - instruction ``i`` fetches I-cache line ``line``
+  (the previous retired instruction sat on a different line);
+* ``(i, 1, addr)`` - load;
+* ``(i, 2, addr, value)`` - store;
+* ``(i, 3, addr, bits, mask)`` - masked (sub-word) store.
+
+The ``now`` a memory call sees is ``cum_cycles[i] - mem_issue`` (the
+interpreter issues the call after charging the base cost, before
+``mem_issue``) plus the instance's dynamic cycles and chunk offset -
+computed by the replay tier, so events stay cost-independent.
+
+Expansion works from per-exit-code static metadata (block length, cost
+tuple, line-crossing template, memory-op template) cached process-
+globally per (program content, cost model) - a sweep expands each
+kernel's metadata once, then every recording replays it with C-speed
+``array.extend`` + ``itertools.accumulate``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from itertools import accumulate
+
+from repro.cpu.core import _ILINE_SHIFT, _base_cost_table, \
+    program_content_key
+from repro.cpu.costs import CycleCosts
+from repro.isa import opcodes as oc
+from repro.isa.program import Program
+from repro.jit.blocks import block_spans
+
+_TERMINATORS = oc.B_FORMAT | {oc.JAL, oc.JALR, oc.HALT}
+
+#: (program content key, effective costs) -> _ProgramMeta. Bounded by
+#: distinct (kernel, cost model) pairs per process; the cap is a
+#: backstop for program-fuzzing tests.
+_META_CACHE: dict[tuple, "_ProgramMeta"] = {}
+_META_CACHE_CAP = 256
+
+#: program content key -> StreamSkeleton; 1:1 with cached recordings.
+#: Skeletons are the big half of a stream (the event list), so the cap
+#: mirrors the engine's stream-cache cap.
+_SKEL_CACHE: dict[tuple, "StreamSkeleton"] = {}
+_SKEL_CACHE_CAP = 4
+
+
+class StreamSkeleton:
+    """The cost-independent expansion of one recording."""
+
+    __slots__ = ("n_total", "events", "n_events", "cum_branches",
+                 "blk_g", "blk_pc", "final_regs")
+
+    def __init__(self, n_total: int, events: list, cum_branches: array,
+                 blk_g: array, blk_pc: array, final_regs: list[int]):
+        self.n_total = n_total
+        self.events = events
+        self.n_events = len(events)
+        self.cum_branches = cum_branches
+        self.blk_g = blk_g
+        self.blk_pc = blk_pc
+        self.final_regs = final_regs
+
+
+class GuestStream:
+    """One kernel's recorded execution under one cost model.
+
+    Flat references into the shared skeleton plus this family's static
+    cycle prefix sum - kept flat (not a skeleton pointer) so the replay
+    hot loop pays one attribute hop per field.
+    """
+
+    __slots__ = ("n_total", "cum_cycles", "cum_branches", "events",
+                 "final_regs", "n_events", "blk_g", "blk_pc", "c_mem")
+
+    def __init__(self, skel: StreamSkeleton, cum_cycles: array,
+                 c_mem: int):
+        self.n_total = skel.n_total
+        self.cum_cycles = cum_cycles
+        self.cum_branches = skel.cum_branches
+        self.events = skel.events
+        self.final_regs = skel.final_regs
+        self.n_events = skel.n_events
+        self.blk_g = skel.blk_g
+        self.blk_pc = skel.blk_pc
+        self.c_mem = c_mem
+
+
+class _ProgramMeta:
+    """Per-(program, costs) static expansion metadata."""
+
+    __slots__ = ("instrs", "starts", "nprog", "cost_table", "c_mem",
+                 "c_brx", "codes")
+
+    def __init__(self, program: Program, costs: CycleCosts):
+        self.instrs = program.instructions
+        self.starts = sorted(s for s, _e in block_spans(program))
+        self.nprog = len(program.instructions)
+        self.cost_table = _base_cost_table(costs)
+        self.c_mem = costs.mem_issue
+        self.c_brx = costs.branch_taken_extra
+        #: exit code -> (length, cost tuple, branch-flag tuple,
+        #:              first_line, last_line, template)
+        self.codes: dict[int, tuple] = {}
+
+    def entry(self, code: int) -> tuple:
+        e = self.codes.get(code)
+        if e is None:
+            e = self.codes[code] = self._build(code)
+        return e
+
+    def _build(self, code: int) -> tuple:
+        start, taken = code >> 1, code & 1
+        j = bisect_right(self.starts, start)
+        end = self.starts[j] if j < len(self.starts) else self.nprog
+        length = end - start
+        costs: list[int] = []
+        bflags: list[int] = []
+        template: list[tuple] = []
+        prev_line = start >> _ILINE_SHIFT
+        for i in range(start, end):
+            op = self.instrs[i][0]
+            assert i == end - 1 or op not in _TERMINATORS, \
+                "terminator not at block end"
+            line = i >> _ILINE_SHIFT
+            if line != prev_line:
+                template.append((i - start, 0, line))
+                prev_line = line
+            c = self.cost_table[op]
+            if op in oc.MEMORY_OPS:
+                c += self.c_mem
+                if op in oc.LOAD_FORMAT:
+                    template.append((i - start, 1))
+                elif op == oc.SW:
+                    template.append((i - start, 2))
+                else:  # SB / SH
+                    template.append((i - start, 3))
+            bflags.append(1 if op in oc.B_FORMAT else 0)
+            costs.append(c)
+        if taken:
+            costs[-1] += self.c_brx
+        return (length, tuple(costs), tuple(bflags),
+                start >> _ILINE_SHIFT, (end - 1) >> _ILINE_SHIFT,
+                tuple(template))
+
+
+def _program_meta(program: Program, costs: CycleCosts) -> _ProgramMeta:
+    key = (program_content_key(program), costs)
+    meta = _META_CACHE.get(key)
+    if meta is None:
+        if len(_META_CACHE) >= _META_CACHE_CAP:
+            _META_CACHE.clear()
+        meta = _META_CACHE[key] = _ProgramMeta(program, costs)
+    return meta
+
+
+def _build_skeleton(meta: _ProgramMeta, codes: list[int], n_total: int,
+                    final_regs: list[int],
+                    ops: list[tuple]) -> StreamSkeleton:
+    """The cost-independent pass: events, branch prefix, block arrays.
+
+    ``meta``'s templates, lengths, branch flags, and line bounds do not
+    depend on its cost model, so any family's metadata serves.
+    """
+    entry = meta.entry
+    br_stream = array("q")
+    ext_b = br_stream.extend
+    blk_g = array("q")
+    blk_pc = array("q")
+    ap_g = blk_g.append
+    ap_pc = blk_pc.append
+    events: list[tuple] = []
+    ap = events.append
+    gi = 0
+    oi = 0
+    prev_line = -1  # the first instruction always fetches (ic_last = -1)
+    for code in codes:
+        m = entry(code)
+        ext_b(m[2])
+        ap_g(gi)
+        ap_pc(code >> 1)
+        if m[3] != prev_line:
+            ap((gi, 0, m[3]))
+        for t in m[5]:
+            k = t[1]
+            if k == 0:
+                ap((gi + t[0], 0, t[2]))
+            else:
+                op = ops[oi]
+                oi += 1
+                if k == 1:
+                    ap((gi + t[0], 1, op[1]))
+                elif k == 2:
+                    ap((gi + t[0], 2, op[1], op[2]))
+                else:
+                    ap((gi + t[0], 3, op[1], op[2], op[3]))
+        prev_line = m[4]
+        gi += m[0]
+    assert gi == n_total and oi == len(ops), \
+        "recorded memory ops disagree with the block templates"
+    cumb = array("q", accumulate(br_stream))
+    return StreamSkeleton(n_total, events, cumb, blk_g, blk_pc,
+                          final_regs)
+
+
+def build_stream(program: Program, costs: CycleCosts,
+                 recording: tuple) -> GuestStream:
+    """Expand a raw recording into this cost family's stream.
+
+    ``recording`` is ``(codes, n_total, total_cycles, rec_costs,
+    final_regs, ops)`` as the engine caches it - one recording serves
+    every family because the architectural stream is cost-independent.
+    ``total_cycles`` was threaded under ``rec_costs`` (modulo the
+    ``ifetch_miss=0`` substitution, which the expansion never folds into
+    statics), so the prefix-sum cross-check applies exactly when
+    ``costs == rec_costs``; other families are covered structurally by
+    the shared skeleton's op-consumption assert.
+    """
+    codes, n_total, total_cycles, rec_costs, final_regs, ops = recording
+    meta = _program_meta(program, costs)
+    skey = (program_content_key(program),)
+    skel = _SKEL_CACHE.get(skey)
+    if skel is None or skel.n_total != n_total:
+        if len(_SKEL_CACHE) >= _SKEL_CACHE_CAP:
+            _SKEL_CACHE.pop(next(iter(_SKEL_CACHE)))
+        skel = _build_skeleton(meta, codes, n_total, final_regs, ops)
+        _SKEL_CACHE[skey] = skel
+    cost_stream = array("q")
+    ext_c = cost_stream.extend
+    entry = meta.entry
+    for code in codes:
+        ext_c(entry(code)[1])
+    cum = array("q", accumulate(cost_stream))
+    assert len(cum) == n_total, "exit codes disagree with retired count"
+    assert costs != rec_costs or not cum or cum[-1] == total_cycles, \
+        "static cycle expansion disagrees with the recording"
+    return GuestStream(skel, cum, meta.c_mem)
+
+
+def stream_meta_stats() -> dict:
+    """Expansion-metadata cache counters (tests/benchmarks)."""
+    return {"programs": len(_META_CACHE), "skeletons": len(_SKEL_CACHE),
+            "codes": sum(len(m.codes) for m in _META_CACHE.values())}
+
+
+def clear_stream_meta() -> None:
+    """Drop expansion metadata and skeletons (tests)."""
+    _META_CACHE.clear()
+    _SKEL_CACHE.clear()

@@ -62,6 +62,10 @@ def _add_sim_args(p: argparse.ArgumentParser) -> None:
                    help="enable the memory-hierarchy fast path "
                         "(specialized hit handlers, bit-identical results; "
                         "composes with --jit)")
+    p.add_argument("--batch", action="store_true",
+                   help="batch sweep points sharing a kernel: record the "
+                        "execution once, replay it per design "
+                        "(bit-identical results; sweeps only)")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the crash-consistency check")
     p.add_argument("--stats-json", default=None, metavar="PATH",
@@ -86,6 +90,8 @@ def _overrides(args) -> dict:
         out["jit"] = True
     if args.memfast:
         out["memfast"] = True
+    if getattr(args, "batch", False):
+        out["batch"] = True
     return out
 
 

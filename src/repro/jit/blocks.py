@@ -56,6 +56,18 @@ Fidelity notes (the differential tests rely on these):
   Architectural state (``regs[:32]``) is bit-identical.
 * ``HALT`` returns its own index (the interpreter stays parked on the
   HALT) and is counted as a retired instruction, like the interpreter.
+
+A third emission mode, **record** (used by :mod:`repro.batch`), augments
+the block functions with a bound list ``_q`` to which every exit appends
+an *exit code* ``2 * start + taken`` (``taken`` is 1 only for the taken
+arm of a conditional branch). Replaying the code sequence reconstructs
+the exact retired-instruction stream of a run - which instructions, in
+which order, with which static costs - without re-executing any
+arithmetic. Record mode is compiled against ``ifetch_miss=0`` costs and
+a latency-free recording memory system, so the threaded cycle counts are
+the pure static costs the batch engine's prefix-sum arrays are built
+from; it never composes with memfast (the recording memsys is not a
+cache).
 """
 
 from __future__ import annotations
@@ -127,7 +139,7 @@ class _BlockEmitter:
     """Emits the Python source of one basic block ``[start, end)``."""
 
     def __init__(self, program: Program, costs: CycleCosts,
-                 memfast: str | bool = False):
+                 memfast: str | bool = False, record: bool = False):
         self.instrs = program.instructions
         self.name = program.name
         self.mem_bytes = program.mem_bytes
@@ -140,6 +152,10 @@ class _BlockEmitter:
         #: bindings arrive through the ``_mf`` tuple so one compiled
         #: module still serves every geometry in a sweep
         self.memfast = memfast
+        #: append an exit code to the bound ``_q`` at every exit (the
+        #: batch engine's stream recorder); exclusive with memfast
+        self.record = record
+        assert not (record and memfast), "record mode never inlines memfast"
 
     # -- per-emit state ------------------------------------------------
     def _reset(self, start: int, end: int) -> None:
@@ -216,6 +232,8 @@ class _BlockEmitter:
         self._state_flush(indent)
         if halt:
             e("st[8] = 1")
+        if self.record:
+            e(f"_q.append({2 * self.start})")
         e(f"return {target}")
 
     def _fault(self, cond: str, mnemonic: str, idx: int, addr: str) -> None:
@@ -455,9 +473,13 @@ class _BlockEmitter:
         taken = self.acc + self.c_brx
         self._emit(f"    st[0] = cycle + {taken}" if taken
                    else "    st[0] = cycle")
+        if self.record:
+            self._emit(f"    _q.append({2 * self.start + 1})")
         self._emit(f"    return {c}")
         self._emit(f"st[0] = cycle + {self.acc}" if self.acc
                    else "st[0] = cycle")
+        if self.record:
+            self._emit(f"_q.append({2 * self.start})")
         self._emit(f"return {self.end}")
 
     def _emit_branch_side_exit(self, op: int, a: int, b: int,
@@ -491,6 +513,8 @@ class _BlockEmitter:
                 extra += ", _mfew=_mfew, _mfhw=_mfhw"
             if self.memfast == "wl":
                 extra += ", _pend=_pend"
+        elif self.record:
+            extra = ", _q=_q"
         head = [
             f"    def {fname}(regs, st, _load=_load, _store=_store, "
             f"_sm=_sm, _lines=_lines, _sdiv=_sdiv, _srem=_srem, "
@@ -617,7 +641,7 @@ class _BlockEmitter:
         return "\n".join(head + self.lines), len(path)
 
 
-def _bind_header(memfast) -> list[str]:
+def _bind_header(memfast, record: bool = False) -> list[str]:
     """The ``_bind`` def line (plus the ``_mf`` unpack in memfast mode).
 
     ``_mf`` is accepted by every module so the dispatcher can use one
@@ -625,10 +649,11 @@ def _bind_header(memfast) -> list[str]:
     probes' bindings (MRU list, accumulator, shift/masks, energies, hit
     latencies, LRU flag, ACK deque - all runtime values, never literals,
     so the compiled module is shared across geometries and cost sweeps;
-    only the store *family* is compiled in, via ``memfast``).
+    only the store *family* is compiled in, via ``memfast``). Record-mode
+    modules take the extra ``_q`` exit-code list instead.
     """
     lines = ["def _bind(_load, _store, _sm, _lines, _sdiv, _srem, _EE, "
-             "_mf=None):"]
+             + ("_mf=None, _q=None):" if record else "_mf=None):")]
     if memfast:
         lines.append("    (_mru, _acc, _mfs, _mfm, _mfw, _mfe, _mfh, "
                      "_mfl, _mfew, _mfhw, _pend) = _mf")
@@ -636,7 +661,8 @@ def _bind_header(memfast) -> list[str]:
 
 
 def compile_blocks_source(program: Program, costs: CycleCosts,
-                          memfast: str | bool = False) -> tuple[str, dict]:
+                          memfast: str | bool = False,
+                          record: bool = False) -> tuple[str, dict]:
     """Source of the whole-program JIT module plus block metadata.
 
     The module defines ``_bind(_load, _store, _sm, _lines, _sdiv, _srem,
@@ -644,14 +670,16 @@ def compile_blocks_source(program: Program, costs: CycleCosts,
     = (fn, length)`` for each block leader, ``None`` elsewhere (retirement
     and halting are reported through ``st[7]``/``st[8]``). Binding is
     cheap (function objects over shared code), so each core gets its own
-    table closed over its own memory system.
+    table closed over its own memory system. ``record=True`` modules bind
+    a ninth ``_q`` argument and append exit codes to it (see the module
+    docstring); they are cached separately by :mod:`repro.jit.cache`.
     """
     n = len(program.instructions)
     spans = block_spans(program)
-    emitter = _BlockEmitter(program, costs, memfast)
+    emitter = _BlockEmitter(program, costs, memfast, record)
     parts = [
         f"# JIT blocks for {program.name!r} (generated; costs baked in)",
-        *_bind_header(memfast),
+        *_bind_header(memfast, record),
         f"    _table = [None] * {n}",
     ]
     meta: dict[int, tuple[int, bool]] = {}
@@ -666,16 +694,18 @@ def compile_blocks_source(program: Program, costs: CycleCosts,
 
 def compile_suffix_source(program: Program, costs: CycleCosts,
                           start: int, end: int,
-                          memfast: str | bool = False) -> str:
+                          memfast: str | bool = False,
+                          record: bool = False) -> str:
     """Source for a *suffix block* ``[start, end)`` - the tail of a basic
     block, compiled on demand when execution resumes mid-block (a chunk
-    budget or power failure interrupted the enclosing block). The module's
-    ``_bind`` returns a single ``(fn, length)`` entry."""
-    emitter = _BlockEmitter(program, costs, memfast)
+    budget or power failure interrupted the enclosing block; in record
+    mode, when an indirect ``jalr`` lands on a non-leader pc). The
+    module's ``_bind`` returns a single ``(fn, length)`` entry."""
+    emitter = _BlockEmitter(program, costs, memfast, record)
     src, _halts = emitter.emit(start, end, f"_s{start}")
     return "\n".join([
         f"# JIT suffix block [{start}, {end}) for {program.name!r}",
-        *_bind_header(memfast),
+        *_bind_header(memfast, record),
         src,
         f"    return (_s{start}, {end - start})",
     ]) + "\n"

@@ -44,26 +44,30 @@ _STATS = {"compiles": 0, "hits": 0, "suffix_compiles": 0,
 
 
 class CompiledProgram:
-    """Compiled form of one (program content, cost model, memfast) triple.
+    """Compiled form of one (program content, cost model, mode) tuple.
 
     ``memfast=True`` modules inline the fast-path load-hit probe (see
     :mod:`repro.memfast`); their ``_bind`` takes the extra ``_mf``
-    bindings tuple. Cached separately from plain modules because the
-    generated source differs.
+    bindings tuple. ``record=True`` modules append exit codes to the
+    extra ``_q`` list (the batch engine's stream recorder, see
+    :mod:`repro.batch`) and support blocks/suffixes only - recording
+    needs the exact basic-block sequence, which traces erase. Each mode
+    is cached separately because the generated source differs.
     """
 
-    __slots__ = ("program", "costs", "memfast", "n", "source",
+    __slots__ = ("program", "costs", "memfast", "record", "n", "source",
                  "module_code", "block_meta", "_starts", "_suffix_codes",
                  "_trace_codes")
 
     def __init__(self, program: Program, costs: CycleCosts,
-                 memfast: str | bool = False):
+                 memfast: str | bool = False, record: bool = False):
         self.program = program
         self.costs = costs
         self.memfast = memfast
+        self.record = record
         self.n = len(program.instructions)
         self.source, self.block_meta = compile_blocks_source(
-            program, costs, memfast)
+            program, costs, memfast, record)
         self.module_code = compile(
             self.source, f"<jit:{program.name}>", "exec")
         self._starts = sorted(s for s, _e in block_spans(program))
@@ -85,7 +89,7 @@ class CompiledProgram:
             j = bisect_right(self._starts, pc)
             end = self._starts[j] if j < len(self._starts) else self.n
             src = compile_suffix_source(self.program, self.costs, pc, end,
-                                        self.memfast)
+                                        self.memfast, self.record)
             code = compile(src, f"<jit:{self.program.name}+{pc}>", "exec")
             self._suffix_codes[pc] = code
             _STATS["suffix_compiles"] += 1
@@ -96,6 +100,7 @@ class CompiledProgram:
     def trace_entry(self, pc: int, args: tuple) -> tuple:
         """Bind the trace rooted at ``pc`` (compiled on first demand per
         process, then shared across cores like the block module)."""
+        assert not self.record, "record mode has no trace tier"
         code = self._trace_codes.get(pc)
         if code is None:
             src = compile_trace_source(self.program, self.costs, pc,
@@ -109,19 +114,21 @@ class CompiledProgram:
 
 
 def get_compiled(program: Program, costs: CycleCosts,
-                 memfast: str | bool = False) -> CompiledProgram:
-    """The compiled form for ``(program, costs, memfast)``, via the
-    per-program shortcut, then the process-global content-keyed cache."""
+                 memfast: str | bool = False,
+                 record: bool = False) -> CompiledProgram:
+    """The compiled form for ``(program, costs, memfast, record)``, via
+    the per-program shortcut, then the process-global content-keyed
+    cache."""
     per_program = program.meta.setdefault(_COMPILED_KEY, {})
-    meta_key = (costs, memfast)
+    meta_key = (costs, memfast, record)
     compiled = per_program.get(meta_key)
     if compiled is None:
-        key = (program_content_key(program), costs, memfast)
+        key = (program_content_key(program), costs, memfast, record)
         compiled = _CODE_CACHE.get(key)
         if compiled is None:
             if len(_CODE_CACHE) >= _CACHE_CAP:
                 _CODE_CACHE.clear()
-            compiled = CompiledProgram(program, costs, memfast)
+            compiled = CompiledProgram(program, costs, memfast, record)
             _CODE_CACHE[key] = compiled
             _STATS["compiles"] += 1
         else:

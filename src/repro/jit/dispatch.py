@@ -96,6 +96,10 @@ def attach_jit(core: InOrderCore) -> JITState | None:
     state = getattr(core, "_jit_state", None)
     if state is not None:
         return state
+    if getattr(core, "_replay", False):
+        # a batch-tier ReplayCore: the stream already encodes execution,
+        # there is nothing left to compile (batch outranks jit)
+        return None
     if _shadowed(core):
         return None
     mem = core.memsys

@@ -13,6 +13,15 @@ pecking order when observability is in play:
   handlers directly and would otherwise keep calling them.
 * :meth:`~repro.obs.recorder.attach_trace` detaches the fast path
   before instrumenting, mirroring how it already detaches the JIT.
+* The batch tier (:mod:`repro.batch`) slots in *above* jit+memfast and
+  *below* the recorder/checker: its engine never batches instrumented
+  runs, its :class:`~repro.batch.replay.ReplayCore` carries a
+  ``_replay`` marker that makes ``attach_jit`` stand down, and memfast
+  is the one tier it composes with - each replay instance attaches the
+  fast handlers to its own design (``attach_memfast`` works unchanged
+  because a fresh ``ReplayCore`` has nothing shadowing ``run_chunk``),
+  and :func:`finish_memfast` wraps ``ReplayCore.run_chunk`` like any
+  other.
 
 Deferred-stats discipline (the heart of bit-exactness): the handlers
 batch the hit counters, hit energies, and the LRU stamp in

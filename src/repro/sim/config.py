@@ -149,6 +149,15 @@ class SimConfig:
     #: automatically when the trace recorder or invariant checker is
     #: attached. ``REPRO_MEMFAST=1`` in the environment enables it too.
     memfast: bool = False
+    #: Batched sweep execution (:mod:`repro.batch`): grid points sharing a
+    #: kernel and cost model record the architectural execution once and
+    #: replay it per point, bit-identical to serial interpretation. Only
+    #: sweeps (``run_grid``/``run_tasks``) consult this flag - a lone
+    #: ``run_one`` has nothing to batch. Disengages per run when the trace
+    #: recorder or invariant checker is attached, and falls back to the
+    #: jit/memfast tiers per instance when a kernel cannot be recorded.
+    #: ``REPRO_BATCH=1`` in the environment enables it too.
+    batch: bool = False
     chunk_instrs: int = 32
     max_instructions: int = 60_000_000
     max_outages: int = 100_000

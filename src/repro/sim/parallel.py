@@ -28,6 +28,9 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro.batch.engine import (ENV_VAR as _BATCH_ENV, maybe_run_batched,
+                                maybe_run_chunk_batched,
+                                task_batch_eligible)
 from repro.errors import ConfigError, SweepError
 from repro.jit import ENV_VAR as _JIT_ENV
 from repro.lint.invariants import ENV_VAR as _CHECK_ENV
@@ -102,20 +105,22 @@ def run_task(task: SweepTask) -> RunResult:
 
 def _init_worker(check_env: str | None, trace_env: str | None,
                  jit_env: str | None = None,
-                 memfast_env: str | None = None) -> None:
+                 memfast_env: str | None = None,
+                 batch_env: str | None = None) -> None:
     """Worker initializer: re-export the instrumentation switches.
 
     Pools spawned with a non-fork start method begin from a fresh
     interpreter whose environment may not mirror the parent's, so the
     invariant-checking (REPRO_CHECK), tracing (REPRO_TRACE), JIT
-    (REPRO_JIT), and fast-path (REPRO_MEMFAST) switches are shipped
-    explicitly - a checked/traced/JITted parallel sweep must apply them
-    in every worker, not just the parent. The worker's process-global
-    JIT code cache then compiles each kernel once and reuses it across
-    all the tasks the worker executes.
+    (REPRO_JIT), fast-path (REPRO_MEMFAST), and batch (REPRO_BATCH)
+    switches are shipped explicitly - a checked/traced/JITted/batched
+    parallel sweep must apply them in every worker, not just the parent.
+    The worker's process-global JIT code cache and guest-stream cache
+    then warm once and serve all the tasks the worker executes.
     """
     for var, value in ((_CHECK_ENV, check_env), (_TRACE_ENV, trace_env),
-                       (_JIT_ENV, jit_env), (_MEMFAST_ENV, memfast_env)):
+                       (_JIT_ENV, jit_env), (_MEMFAST_ENV, memfast_env),
+                       (_BATCH_ENV, batch_env)):
         if value is None:
             os.environ.pop(var, None)
         else:
@@ -124,6 +129,9 @@ def _init_worker(check_env: str | None, trace_env: str | None,
 
 def _run_chunk(chunk: list[SweepTask]) -> list[tuple]:
     """Worker entry: run a chunk, converting exceptions to records."""
+    records = maybe_run_chunk_batched(chunk, run_task)
+    if records is not None:
+        return records
     out: list[tuple] = []
     for task in chunk:
         try:
@@ -152,10 +160,30 @@ def make_tasks(workloads: Iterable[str],
     return tasks
 
 
-def _chunked(tasks: list[SweepTask], jobs: int) -> list[list[SweepTask]]:
-    """Split tasks into contiguous chunks, ~4 per worker for load balance."""
+def _chunked(tasks: list[SweepTask], jobs: int,
+             align_batches: bool = False) -> list[list[SweepTask]]:
+    """Split tasks into contiguous chunks, ~4 per worker for load balance.
+
+    With ``align_batches`` the cuts land only where ``(workload, scale)``
+    changes (tasks arrive workload-major), so a batch group is never torn
+    across workers - a torn group records its kernel once per worker.
+    """
     n = max(1, -(-len(tasks) // (jobs * 4)))
-    return [tasks[i:i + n] for i in range(0, len(tasks), n)]
+    if not align_batches:
+        return [tasks[i:i + n] for i in range(0, len(tasks), n)]
+    chunks: list[list[SweepTask]] = []
+    cur: list[SweepTask] = []
+    for i, task in enumerate(tasks):
+        cur.append(task)
+        nxt = tasks[i + 1] if i + 1 < len(tasks) else None
+        at_block_end = nxt is None or (
+            (nxt.workload, nxt.scale) != (task.workload, task.scale))
+        if at_block_end and len(cur) >= n:
+            chunks.append(cur)
+            cur = []
+    if cur:
+        chunks.append(cur)
+    return chunks
 
 
 def _raise_failures(failures: list[tuple], nworkers: int) -> None:
@@ -180,6 +208,9 @@ def run_tasks(tasks: list[SweepTask], jobs: int | None = None,
     jobs = resolve_jobs(jobs)
     total = len(tasks)
     if jobs <= 1 or total < 2:
+        out = maybe_run_batched(tasks, run_task, progress)
+        if out is not None:
+            return out
         out = {}
         for i, task in enumerate(tasks):
             out[task.key] = run_task(task)
@@ -187,7 +218,8 @@ def run_tasks(tasks: list[SweepTask], jobs: int | None = None,
                 progress(i + 1, total, task.key)
         return out
 
-    chunks = _chunked(tasks, jobs)
+    batching = any(task_batch_eligible(t) for t in tasks)
+    chunks = _chunked(tasks, jobs, align_batches=batching)
     by_task: dict[tuple[str, str], RunResult] = {}
     # (where, exc_name | None, msg | None, detail) records
     failures: list[tuple] = []
@@ -197,7 +229,8 @@ def run_tasks(tasks: list[SweepTask], jobs: int | None = None,
                              initargs=(os.environ.get(_CHECK_ENV),
                                        os.environ.get(_TRACE_ENV),
                                        os.environ.get(_JIT_ENV),
-                                       os.environ.get(_MEMFAST_ENV))) as pool:
+                                       os.environ.get(_MEMFAST_ENV),
+                                       os.environ.get(_BATCH_ENV))) as pool:
         futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
         pending = set(futures)
         while pending:

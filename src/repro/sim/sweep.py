@@ -8,6 +8,11 @@ power condition.
 Grids run serially by default; pass ``jobs`` or set ``REPRO_JOBS`` to fan
 out over a process pool (see :mod:`repro.sim.parallel`) - the parallel
 results are bit-identical to the serial ones.
+
+Grids are also where batched execution pays off: ``batch=True`` (or
+``REPRO_BATCH=1``, which pool workers re-export) records each kernel's
+architectural stream once per cost family and replays it per grid
+point, bit-identically (see :mod:`repro.batch` and ``docs/batch.md``).
 """
 
 from __future__ import annotations

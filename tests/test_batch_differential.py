@@ -1,0 +1,79 @@
+"""Hypothesis differential: batched sweeps are bit-identical to serial.
+
+Randomized small grids - kernel subsets, design subsets, power
+condition, workload scale, instruction budget - run twice, once on the
+plain serial path and once with ``SimConfig(batch=True)``, and every
+:class:`~repro.sim.results.RunResult` field is compared exactly
+(including the float energy breakdown, which is sensitive to chunk
+boundaries and therefore the sharpest bit-identity probe the simulator
+has).
+
+The grid shape matters more than the kernel count: mixed design
+families (NVCache-WB records separately), mixed eligible/ineligible
+tasks, and repeated (workload, design) cells across conditions all
+exercise the engine's grouping and cache paths differently, so the
+strategies draw the *shape*, not just the points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.batch import clear_streams
+from repro.sim.config import SimConfig
+from repro.sim.sweep import run_grid
+
+#: small, fast kernels covering both suites and both store densities
+_APPS = ("sha", "qsort", "adpcmdecode", "dijkstra")
+#: includes both recording families (NVCache-WB folds ifetch_extra into
+#: its costs) and a memfast-ineligible design (VCache-WT store path)
+_DESIGNS = ("WL-Cache", "NVCache-WB", "VCache-WT", "NVSRAM(ideal)")
+
+
+@st.composite
+def grid_st(draw):
+    apps = draw(st.lists(st.sampled_from(_APPS), min_size=1, max_size=2,
+                         unique=True))
+    designs = draw(st.lists(st.sampled_from(_DESIGNS), min_size=1,
+                            max_size=3, unique=True))
+    trace = draw(st.sampled_from([None, "trace1", "trace2"]))
+    scale = draw(st.sampled_from([0.1, 0.15]))
+    overrides = {}
+    if draw(st.booleans()):
+        # a tight budget exercises the group-budget plumbing (and, when
+        # it truncates the kernel, the error path must match exactly)
+        overrides["max_instructions"] = draw(
+            st.sampled_from([200_000, 1_000_000]))
+    return apps, designs, trace, scale, overrides
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(grid_st())
+def test_batched_grid_bit_identical_to_serial(grid):
+    apps, designs, trace, scale, overrides = grid
+    clear_streams()
+    try:
+        ref = run_grid(apps, designs, trace, jobs=1, scale=scale,
+                       **overrides)
+        ref_err = None
+    except Exception as exc:  # budget truncation must match too
+        ref, ref_err = None, (type(exc), str(exc))
+    try:
+        bat = run_grid(apps, designs, trace, jobs=1, scale=scale,
+                       batch=True, **overrides)
+        bat_err = None
+    except Exception as exc:
+        bat, bat_err = None, (type(exc), str(exc))
+    assert ref_err == bat_err
+    if ref_err is not None:
+        return
+    assert ref.keys() == bat.keys()
+    for key in ref:
+        a, b = ref[key], bat[key]
+        for f in dataclasses.fields(a):
+            assert getattr(a, f.name) == getattr(b, f.name), \
+                f"{key}: RunResult.{f.name} diverged"
