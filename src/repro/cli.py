@@ -8,8 +8,15 @@ Commands:
   normalized speedups.
 * ``lint`` - statically analyze the suite's workload programs (CFG +
   dataflow: uninitialized reads, dead stores, unreachable code, bad
-  branch targets, misaligned/out-of-bounds accesses). Exit code 0 when
-  clean, 1 with warnings, 2 with error-severity findings.
+  branch targets, misaligned/out-of-bounds accesses; with
+  ``--intermittent`` also the checkpoint-region rules L009-L014). Exit
+  code 0 when clean, 1 with warnings, 2 with error-severity findings
+  (waived findings never gate; ``--errors-only`` stops warnings from
+  gating too).
+* ``audit`` - statically audit the *generated* Python from the
+  jit/memfast/batch compilers against their structural contracts
+  (A001-A007). Exit code 0 when every compiled family verifies, 2 on
+  any contract violation.
 * ``trace <app> <design> <trace>`` - run with the observability layer
   attached and export the event trace as Chrome/Perfetto ``trace.json``
   (plus optional CSV/text), with a terminal timeline summary.
@@ -197,18 +204,38 @@ def cmd_plot(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.lint.runner import (exit_code, format_findings_json,
-                                   format_findings_text, lint_workloads)
+    from repro.lint.runner import (exit_code, filter_errors_only,
+                                   format_findings, lint_workloads)
 
     if args.apps is not None and not args.apps:
         print("repro lint: error: --apps given with no workloads "
               "(omit it to lint the whole suite)", file=sys.stderr)
         return 2
-    results = lint_workloads(args.apps, scale=args.scale)
-    formatter = (format_findings_json if args.format == "json"
-                 else format_findings_text)
-    print(formatter(results))
-    return exit_code(results)
+    results = lint_workloads(args.apps, scale=args.scale,
+                             intermittent=args.intermittent,
+                             budget_cycles=args.budget_cycles)
+    shown = filter_errors_only(results) if args.errors_only else results
+    print(format_findings(shown, args.format))
+    return exit_code(results, errors_only=args.errors_only)
+
+
+def cmd_audit(args) -> int:
+    from repro.lint.codegen_audit import audit_suite
+    from repro.lint.findings import format_findings_sarif
+    from repro.lint.runner import (EXIT_CLEAN, EXIT_ERRORS,
+                                   format_findings_json,
+                                   format_findings_text)
+
+    results = audit_suite(args.apps, designs=args.designs,
+                          scale=args.scale)
+    if args.format == "json":
+        print(format_findings_json(results))
+    elif args.format == "sarif":
+        print(format_findings_sarif(results, tool_name="repro-audit"))
+    else:
+        print(format_findings_text(results))
+    violations = sum(len(f) for f in results.values())
+    return EXIT_ERRORS if violations else EXIT_CLEAN
 
 
 #: Short design aliases accepted by ``repro trace`` (the full names carry
@@ -328,11 +355,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--apps", nargs="*", default=None,
                         choices=ALL_WORKLOADS,
                         help="workload subset (default: all 23)")
-    p_lint.add_argument("--format", choices=("text", "json"),
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="report format")
     p_lint.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier")
+    p_lint.add_argument("--intermittent", action="store_true",
+                        help="also run the checkpoint-region "
+                             "intermittency rules L009-L014")
+    p_lint.add_argument("--budget-cycles", type=int, default=None,
+                        metavar="N",
+                        help="override the derived capacitor budget "
+                             "used by L011 (worst-case cycles)")
+    p_lint.add_argument("--errors-only", action="store_true",
+                        help="report only error-severity findings; "
+                             "warnings no longer drive a non-zero exit")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_audit = sub.add_parser(
+        "audit", help="statically audit the generated jit/memfast/batch "
+                      "Python against its structural contracts")
+    p_audit.add_argument("--apps", nargs="+", default=None,
+                         choices=ALL_WORKLOADS,
+                         help="workload subset (default: all 23)")
+    p_audit.add_argument("--designs", nargs="+", default=None,
+                         choices=ALL_DESIGNS,
+                         help="design subset (default: the 5 paper "
+                              "designs)")
+    p_audit.add_argument("--format", choices=("text", "json", "sarif"),
+                         default="text", help="report format")
+    p_audit.add_argument("--scale", type=float, default=1.0,
+                         help="workload size multiplier")
+    p_audit.set_defaults(func=cmd_audit)
 
     p_trace = sub.add_parser(
         "trace", help="record an event trace and export it for Perfetto")

@@ -18,6 +18,13 @@ Accepts a conventional assembly dialect::
 Loads/stores use ``offset(base)`` syntax. Branch/jump targets are labels.
 ``.data <addr>`` switches to the data segment at a byte address; ``.word``
 and ``.byte`` place initialized data there.
+
+Two meta-only directives feed the intermittency linter (rules
+L009-L014): ``.ckpt`` marks a static checkpoint boundary at the current
+instruction position, and ``.waive <RULE>, <justification>`` suppresses
+one rule for the program. Both land in ``Program.meta`` and emit no
+instruction, mirroring :meth:`ProgramBuilder.checkpoint` /
+:meth:`ProgramBuilder.waive_lint`.
 """
 
 from __future__ import annotations
@@ -52,6 +59,8 @@ def assemble(text: str, name: str = "asm",
     pending: list[tuple] = []  # (op, a, b, c) with label names unresolved
     data: dict[int, int] = {}
     symbols: dict[str, int] = {}
+    checkpoints: list[int] = []
+    waivers: list[dict[str, str]] = []
     in_data = False
     data_cursor = 0
 
@@ -111,6 +120,20 @@ def assemble(text: str, name: str = "asm",
             if len(ops) != 2:
                 raise AssemblyError(f"line {line_no}: .symbol name, addr")
             symbols[ops[0]] = _parse_int(ops[1], line_no)
+            continue
+        if mnem == ".ckpt":
+            if in_data:
+                raise AssemblyError(f"line {line_no}: .ckpt inside .data")
+            if ops:
+                raise AssemblyError(f"line {line_no}: .ckpt takes no operands")
+            checkpoints.append(len(pending))
+            continue
+        if mnem == ".waive":
+            if len(ops) < 2:
+                raise AssemblyError(
+                    f"line {line_no}: .waive RULE, justification")
+            waivers.append({"rule": ops[0],
+                            "reason": ", ".join(ops[1:])})
             continue
         if in_data:
             raise AssemblyError(f"line {line_no}: instruction inside .data")
@@ -198,5 +221,10 @@ def assemble(text: str, name: str = "asm",
 
     prog = Program(name=name, instructions=instrs, data=data, labels=labels,
                    symbols=symbols, mem_bytes=mem_bytes)
+    if checkpoints:
+        prog.meta["checkpoints"] = sorted(
+            {i for i in checkpoints if i < len(instrs)})
+    if waivers:
+        prog.meta["lint_waivers"] = waivers
     prog.validate()
     return prog

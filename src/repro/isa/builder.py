@@ -129,6 +129,8 @@ class ProgramBuilder:
         self._data_cursor = DATA_BASE
         self._label_seq = 0
         self._stack_top = mem_bytes - 64
+        self._checkpoints: list[int] = []
+        self._lint_waivers: list[tuple[str, str]] = []
         # runtime prologue: initialize the stack pointer
         self.li(self.sp, self._stack_top)
 
@@ -257,6 +259,35 @@ class ProgramBuilder:
         lbl = self.label(name)
         self.bind(lbl)
         return lbl
+
+    # ------------------------------------------------------------------
+    # intermittency annotations (meta-only: zero dynamic effect)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Mark a static checkpoint boundary at the current position.
+
+        The marker is carried in ``Program.meta["checkpoints"]`` only -
+        no instruction is emitted, so the instruction stream, the JIT
+        content key, and every golden trace are untouched. The
+        intermittency linter (``repro lint --intermittent``, rules
+        L009-L014) treats the boundary as committing all register and
+        NVM state *before* the marked instruction executes: place it at
+        the top of a loop body and each iteration becomes its own
+        re-executable region.
+        """
+        self._checkpoints.append(len(self._instrs))
+
+    def waive_lint(self, rule_id: str, reason: str) -> None:
+        """Suppress a lint rule for this program, with a justification.
+
+        The waiver rides in ``Program.meta["lint_waivers"]``; the lint
+        runner still reports the matching findings but marks them waived
+        (printing ``reason``) and they stop affecting the exit code.
+        """
+        if not reason or not reason.strip():
+            raise AssemblyError(
+                f"{self.name}: waiver for {rule_id} needs a justification")
+        self._lint_waivers.append((rule_id, reason.strip()))
 
     # ALU: rs2 may be a Reg or an int immediate (auto-selects the I-form
     # where one exists, else materializes via the assembler temp).
@@ -565,6 +596,15 @@ class ProgramBuilder:
             symbols=dict(self._symbols),
             mem_bytes=self.mem_bytes,
         )
+        if self._checkpoints:
+            n = len(resolved)
+            # a marker past the trailing HALT would never be crossed
+            prog.meta["checkpoints"] = sorted(
+                {i for i in self._checkpoints if i < n})
+        if self._lint_waivers:
+            prog.meta["lint_waivers"] = [
+                {"rule": rule, "reason": reason}
+                for rule, reason in self._lint_waivers]
         prog.validate()
         return prog
 

@@ -50,11 +50,12 @@ def to_asm(prog: Program) -> str:
     """Render ``prog`` as source the text assembler accepts.
 
     Round-trip guarantee: ``assemble(to_asm(p), mem_bytes=p.mem_bytes)``
-    reproduces the instruction tuples, data image, and symbol table
-    exactly. Branch/jump targets become synthesized ``L<index>`` labels
-    (the original label names are presentation metadata, not semantics),
-    which is why this lives beside the pretty-printer instead of reusing
-    its ``@target`` notation.
+    reproduces the instruction tuples, data image, symbol table, and the
+    lint-carried meta (checkpoint markers as ``.ckpt``, waivers as
+    ``.waive``) exactly. Branch/jump targets become synthesized
+    ``L<index>`` labels (the original label names are presentation
+    metadata, not semantics), which is why this lives beside the
+    pretty-printer instead of reusing its ``@target`` notation.
     """
     targets: set[int] = set()
     for op, _a, b, c in prog.instructions:
@@ -62,11 +63,15 @@ def to_asm(prog: Program) -> str:
             targets.add(c)
         elif op in oc.J_FORMAT:
             targets.add(b)
+    markers = {i for i in prog.meta.get("checkpoints", ())
+               if isinstance(i, int)}
     out = []
     for i, ins in enumerate(prog.instructions):
         op, a, b, c = ins
         if i in targets:
             out.append(f"L{i}:")
+        if i in markers:
+            out.append("  .ckpt")
         if op in oc.B_FORMAT:
             out.append(f"  {oc.MNEMONICS[op]} {_R[a]}, {_R[b]}, L{c}")
         elif op in oc.J_FORMAT:
@@ -86,4 +91,6 @@ def to_asm(prog: Program) -> str:
         i = j + 1
     for name, addr in prog.symbols.items():
         out.append(f".symbol {name}, {addr:#x}")
+    for w in prog.meta.get("lint_waivers", ()):
+        out.append(f".waive {w['rule']}, {w['reason']}")
     return "\n".join(out) + "\n"

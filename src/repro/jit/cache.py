@@ -57,7 +57,7 @@ class CompiledProgram:
 
     __slots__ = ("program", "costs", "memfast", "record", "n", "source",
                  "module_code", "block_meta", "_starts", "_suffix_codes",
-                 "_trace_codes")
+                 "_trace_codes", "suffix_sources", "trace_sources")
 
     def __init__(self, program: Program, costs: CycleCosts,
                  memfast: str | bool = False, record: bool = False):
@@ -73,6 +73,10 @@ class CompiledProgram:
         self._starts = sorted(s for s, _e in block_spans(program))
         self._suffix_codes: dict[int, object] = {}
         self._trace_codes: dict[int, object] = {}
+        # lazily-compiled sources, retained so the static codegen
+        # auditor (repro audit) can verify exactly what a run executed
+        self.suffix_sources: dict[int, str] = {}
+        self.trace_sources: dict[int, str] = {}
 
     def bind(self, args: tuple) -> list:
         """Instantiate the per-core dispatch table: ``table[leader] =
@@ -92,6 +96,7 @@ class CompiledProgram:
                                         self.memfast, self.record)
             code = compile(src, f"<jit:{self.program.name}+{pc}>", "exec")
             self._suffix_codes[pc] = code
+            self.suffix_sources[pc] = src
             _STATS["suffix_compiles"] += 1
         ns: dict = {}
         exec(code, ns)
@@ -107,6 +112,7 @@ class CompiledProgram:
                                        TRACE_CAP, self.memfast)
             code = compile(src, f"<jit:{self.program.name}~{pc}>", "exec")
             self._trace_codes[pc] = code
+            self.trace_sources[pc] = src
             _STATS["trace_compiles"] += 1
         ns: dict = {}
         exec(code, ns)

@@ -1,0 +1,518 @@
+"""Intermittency-safety analysis: checkpoint-region dataflow (L009-L014).
+
+Energy-harvesting systems execute in *checkpoint regions*: all register
+and NVM state is committed at a boundary, the region runs, and a power
+outage rewinds execution to the last boundary. A region is safe to
+re-execute iff it is *idempotent* - no instruction observes a value that
+a later instruction of the same region overwrites (Choi et al., arXiv
+2006.11479). This module statically partitions a kernel's CFG into
+checkpoint-delimited regions and checks exactly that hazard class over
+the non-volatile store.
+
+Boundaries are the program entry, every ``HALT``, and the explicit
+*static checkpoint markers* a kernel carries in
+``Program.meta["checkpoints"]`` (:meth:`ProgramBuilder.checkpoint`, the
+assembler's ``.ckpt``). Markers are meta-only - no instruction is
+emitted and simulation is bit-identical - they describe where a
+software-checkpoint port of the kernel would cut regions. A marker at
+index ``i`` commits state *before* instruction ``i`` executes.
+
+The word-level analysis runs over the *const-resolvable* address space:
+every reachable load/store whose address the lint constant propagation
+(:func:`repro.lint.dataflow.const_states`) can resolve contributes its
+32-bit word to a bitset universe. Addresses the linter cannot resolve
+(register-indexed array walks) are invisible to L009/L012 - the linter
+under-approximates there, like any sound-where-it-looks static check -
+but they still count as "a store happened" for L013/L014, and the
+region-shape rules (L011 cycles/budget) need no addresses at all.
+
+One forward fixpoint computes, at every instruction entry:
+
+* ``exposed`` - words *may-read before written* in the current region
+  (union join): re-execution would re-read these from NVM;
+* ``written`` - words *must-written* since the boundary (intersection
+  join): reads of these are shielded, re-execution regenerates them;
+* ``stored`` - whether any store (tracked or not) may have happened
+  since the boundary (union join; feeds L013).
+
+Edges *into* a marker deliver the reset state instead of the
+predecessor's out-state - that is the whole region mechanism, no region
+enumeration needed. The rules:
+
+* **L009** - a full-word store to an ``exposed`` word: classic WAR on
+  NVM; after an outage the re-executed read observes the new value.
+* **L010** - a block-local read-modify-write chain (load, dataflow-
+  dependent ALU ops, store back to the same address expression) with no
+  marker between: ``x = x + 1`` against NVM, the canonical
+  non-idempotent update. Needs no const resolution - the address
+  operands only have to *match*, so it catches register-indexed RMW
+  that L009 cannot see. L009/L012 findings at the same store site are
+  suppressed (one root cause, one finding).
+* **L011** - region length: a cycle that crosses no marker makes
+  re-execution time unbounded; an acyclic region longer (in folded
+  worst-case cycles, memory latencies included) than the capacitor's
+  worst-case budget can never complete on one charge - both livelock
+  under intermittent power.
+* **L012** - a subword store (``sb``/``sh``) to an ``exposed`` word:
+  the masked merge can partially commit before an outage, so the
+  re-executed read observes a torn word.
+* **L013** - a *dead* checkpoint: no path from the previous boundary
+  into the marker stores anything, so it persists nothing new (markers
+  at the entry or on unreachable code included).
+* **L014** - a store from which no marker or ``HALT`` is reachable:
+  the write can never be made durable (only possible alongside an
+  L011 cycle, but points at the store, not the loop).
+
+Waivers (``Program.meta["lint_waivers"]``) are applied by the runner,
+not here: every finding stays visible, waived ones stop gating.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cpu.core import _base_cost_table
+from repro.isa import opcodes as oc
+from repro.isa.program import Program
+from repro.lint.dataflow import defs_uses
+from repro.lint.findings import Finding, make_finding
+from repro.lint.rules import LintContext
+
+_U32 = 0xFFFFFFFF
+
+#: ``Program.meta`` keys the analysis consumes.
+CHECKPOINTS_KEY = "checkpoints"
+WAIVERS_KEY = "lint_waivers"
+
+#: instructions per I-cache line (mirrors repro.cpu.core._ILINE_SHIFT)
+_ILINE = 16
+
+
+def checkpoint_markers(program: Program) -> set[int]:
+    """The program's static checkpoint markers, clamped into range."""
+    n = len(program.instructions)
+    return {i for i in program.meta.get(CHECKPOINTS_KEY, ())
+            if isinstance(i, int) and 0 <= i < n}
+
+
+def default_budget_cycles(config=None) -> int:
+    """Worst-case cycles one full capacitor charge can fund.
+
+    The usable window is the energy between ``v_max`` and ``v_min``; it
+    is converted to cycles with a pessimistic energy-per-cycle: the
+    larger of an ALU instruction's full energy per single cycle and the
+    worst-case (memory) instruction's energy amortized over its minimum
+    cycle count. A region whose worst-case path exceeds this budget can
+    never complete on one charge, so re-execution livelocks.
+    """
+    from repro.energy.capacitor import energy_nj
+    from repro.energy.model import EnergyModel
+    from repro.sim.config import SimConfig
+
+    config = config or SimConfig()
+    em = EnergyModel()
+    usable = (energy_nj(config.capacitance_f, config.v_max)
+              - energy_nj(config.capacitance_f, config.v_min))
+    mem_cycles = 1 + config.costs.mem_issue + _worst_mem_cycles(config)
+    nj_per_cycle = max(em.compute_nj + em.ifetch_nj,
+                       em.worst_instr_nj / mem_cycles)
+    return max(1, int(usable / nj_per_cycle))
+
+
+def _worst_mem_cycles(config) -> int:
+    """Pessimistic latency of one memory access: a full line refill plus
+    a full dirty-line writeback at NVM burst timings."""
+    t = config.nvm
+    wpl = config.geometry.words_per_line
+    burst = t.burst_word * (wpl - 1)
+    return (t.read_word + burst) + (t.write_word + burst)
+
+
+class _RegionState:
+    """The fixpoint engine plus everything the report passes share."""
+
+    def __init__(self, ctx: LintContext):
+        self.ctx = ctx
+        self.program = ctx.program
+        self.instrs = ctx.program.instructions
+        self.cfg = ctx.cfg
+        self.markers = checkpoint_markers(ctx.program)
+        self.halts = {i for i, ins in enumerate(self.instrs)
+                      if ins[0] == oc.HALT}
+        # tracked word universe: const-resolvable reachable accesses
+        self.word_bit: dict[int, int] = {}   # word addr -> bit index
+        self.site_bit: dict[int, int] = {}   # instr idx -> bit index
+        self.site_addr: dict[int, int] = {}  # instr idx -> byte addr
+        consts = ctx.consts
+        for i, (op, _a, b, c) in enumerate(self.instrs):
+            if op not in oc.MEMORY_OPS or not self.cfg.reachable[i]:
+                continue
+            base = consts[i].get(b)
+            if base is None:
+                continue
+            addr = (base + c) & _U32
+            bit = self.word_bit.setdefault(addr >> 2, len(self.word_bit))
+            self.site_bit[i] = bit
+            self.site_addr[i] = addr
+        # entry state per instruction: (exposed, written, stored) or None
+        self.state: list[tuple[int, int, int] | None] = [None] * self.cfg.n
+        #: marker -> whether any incoming path stored since its boundary
+        self.stored_into: dict[int, int] = {
+            m: 0 for m in self.markers if self.cfg.reachable[m]}
+        self._run()
+
+    # -- transfer --------------------------------------------------------
+    def _out_state(self, i: int) -> tuple[int, int, int]:
+        exposed, written, stored = self.state[i]
+        op = self.instrs[i][0]
+        bit = self.site_bit.get(i)
+        if op in oc.LOAD_FORMAT:
+            if bit is not None and not (written >> bit & 1):
+                exposed |= 1 << bit
+        elif op in oc.STORE_FORMAT:
+            stored = 1
+            if bit is not None and op == oc.SW:
+                written |= 1 << bit
+        return (exposed, written, stored)
+
+    def _run(self) -> None:
+        cfg = self.cfg
+        if cfg.n == 0:
+            return
+        reset = (0, 0, 0)
+        work: deque[int] = deque()
+        queued = [False] * cfg.n
+        seeds = [0] + sorted(m for m in self.markers
+                             if cfg.reachable[m] and m != 0)
+        for s in seeds:
+            self.state[s] = reset
+            queued[s] = True
+            work.append(s)
+        while work:
+            i = work.popleft()
+            queued[i] = False
+            out = self._out_state(i)
+            for s in cfg.succs[i]:
+                if s in self.markers:
+                    # crossing the boundary: record what the region
+                    # accomplished, deliver the committed (reset) state
+                    self.stored_into[s] = self.stored_into.get(s, 0) | out[2]
+                    continue  # marker state is pinned to reset
+                cur = self.state[s]
+                if cur is None:
+                    new = out
+                else:
+                    new = (cur[0] | out[0], cur[1] & out[1], cur[2] | out[2])
+                    if new == cur:
+                        continue
+                self.state[s] = new
+                if not queued[s]:
+                    queued[s] = True
+                    work.append(s)
+
+
+def _check_war_and_torn(rs: _RegionState,
+                        rmw_sites: set[int]) -> list[Finding]:
+    """L009 (full-word WAR) and L012 (torn subword store) from the
+    fixpoint states; sites already claimed by L010 are suppressed."""
+    out = []
+    ctx = rs.ctx
+    for i, (op, _a, _b, _c) in enumerate(rs.instrs):
+        if op not in oc.STORE_FORMAT or i in rmw_sites:
+            continue
+        st = rs.state[i]
+        bit = rs.site_bit.get(i)
+        if st is None or bit is None or not (st[0] >> bit & 1):
+            continue
+        addr = rs.site_addr[i]
+        word = addr & ~3
+        if op == oc.SW:
+            out.append(make_finding(
+                "L009", ctx.loc(i),
+                f"sw overwrites word {word:#x}, which this checkpoint "
+                f"region already read; after an outage the re-executed "
+                f"read observes the new value (add a checkpoint between "
+                f"the read and this store, or buffer in a register)"))
+        else:
+            out.append(make_finding(
+                "L012", ctx.loc(i),
+                f"{oc.MNEMONICS[op]} partially commits into word "
+                f"{word:#x}, which this checkpoint region already read; "
+                f"an outage mid-merge leaves a torn word for the "
+                f"re-executed read"))
+    return out
+
+
+def _find_rmw_sites(rs: _RegionState) -> dict[int, int]:
+    """L010 scan: block-local load -> dependent ALU -> store-back chains
+    on a matching address expression, with no marker in between.
+
+    Returns ``{store idx: load idx}``. The match is syntactic on the
+    ``(base reg, offset)`` pair, invalidated when the base register is
+    redefined, so it needs no constant resolution - this is the rule
+    that sees register-indexed histogram/accumulator updates.
+    """
+    sites: dict[int, int] = {}
+    instrs = rs.instrs
+    for blk in rs.cfg.blocks:
+        if not blk.reachable:
+            continue
+        records: dict[tuple[int, int], int] = {}  # (base, off) -> load idx
+        taint: dict[int, int] = {}  # reg -> load idx its value derives from
+        for i in range(blk.start, blk.end):
+            if i in rs.markers:
+                # the boundary committed the loaded value with the
+                # registers; re-execution resumes past the load
+                records.clear()
+                continue
+            op, a, b, c = instrs[i]
+            if op in oc.LOAD_FORMAT:
+                records[(b, c)] = i
+                if a != 0:
+                    taint[a] = i
+                    # a load into its own base register (pointer walk)
+                    # changes what the address expression means
+                    records = {k: v for k, v in records.items()
+                               if k[0] != a}
+                continue
+            if op in oc.STORE_FORMAT:
+                src = records.get((b, c))
+                if src is not None and taint.get(a) == src:
+                    sites[i] = src
+                continue
+            d, uses = defs_uses(instrs[i])
+            if d is None or d == 0:
+                continue
+            tainted = [taint[u] for u in uses if u in taint]
+            if tainted:
+                taint[d] = tainted[0]
+            else:
+                taint.pop(d, None)
+            # redefining a base register retires its pending loads
+            records = {k: v for k, v in records.items() if k[0] != d}
+    return sites
+
+
+def _report_rmw(rs: _RegionState, sites: dict[int, int]) -> list[Finding]:
+    ctx = rs.ctx
+    out = []
+    for store_idx in sorted(sites):
+        load_idx = sites[store_idx]
+        op = rs.instrs[store_idx][0]
+        out.append(make_finding(
+            "L010", ctx.loc(store_idx),
+            f"{oc.MNEMONICS[op]} writes back a value derived from the "
+            f"load at index {load_idx} to the same address with no "
+            f"checkpoint between: re-executing this region repeats the "
+            f"update (x = f(x) against NVM is not idempotent)"))
+    return out
+
+
+# -- L011: region shape ------------------------------------------------
+
+def _region_sccs(rs: _RegionState) -> list[list[int]]:
+    """Strongly-connected components of the reachable CFG with marker
+    nodes removed (iterative Tarjan). An SCC with a cycle is a region
+    that can loop without ever crossing a checkpoint."""
+    cfg = rs.cfg
+    nodes = [i for i in range(cfg.n)
+             if cfg.reachable[i] and i not in rs.markers]
+    node_set = set(nodes)
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = [0]
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter([s for s in cfg.succs[root]
+                             if s in node_set]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for s in it:
+                if s not in index:
+                    index[s] = low[s] = counter[0]
+                    counter[0] += 1
+                    stack.append(s)
+                    on_stack.add(s)
+                    work.append((s, iter([t for t in cfg.succs[s]
+                                          if t in node_set])))
+                    advanced = True
+                    break
+                if s in on_stack:
+                    low[v] = min(low[v], index[s])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                sccs.append(comp)
+    return sccs
+
+
+def _instr_worst_cycles(rs: _RegionState, i: int, cost_table,
+                        costs, worst_mem: int) -> int:
+    op = rs.instrs[i][0]
+    cycles = cost_table[op]
+    if op in oc.MEMORY_OPS:
+        cycles += costs.mem_issue + worst_mem
+    if op in oc.B_FORMAT:
+        cycles += costs.branch_taken_extra
+    if i % _ILINE == 0:
+        cycles += costs.ifetch_miss
+    return cycles
+
+
+def _check_region_budget(rs: _RegionState, budget_cycles: int | None,
+                         costs, config) -> list[Finding]:
+    """L011: checkpoint-free cycles, else worst-case path vs budget."""
+    ctx = rs.ctx
+    out = []
+    cyclic: set[int] = set()
+    for comp in _region_sccs(rs):
+        has_cycle = len(comp) > 1 or comp[0] in rs.cfg.succs[comp[0]]
+        if not has_cycle:
+            continue
+        cyclic.update(comp)
+        at = min(comp)
+        out.append(make_finding(
+            "L011", ctx.loc(at),
+            f"cycle of {len(comp)} instruction(s) crosses no checkpoint: "
+            f"worst-case re-execution length is unbounded (mark a "
+            f"checkpoint inside the loop body)"))
+    if cyclic:
+        return out  # path lengths are meaningless with a cycle inside
+    if budget_cycles is None:
+        budget_cycles = default_budget_cycles(config)
+    cost_table = _base_cost_table(costs)
+    worst_mem = _worst_mem_cycles(config)
+    cfg = rs.cfg
+    # longest worst-case path to a boundary, over the (now acyclic)
+    # marker-free graph, via reverse-postorder DP
+    memo: dict[int, int] = {}
+    order: list[int] = []
+    seen = [False] * cfg.n
+    entries = [0] + sorted(m for m in rs.markers if cfg.reachable[m] and m)
+    for e in entries:
+        if seen[e]:
+            continue
+        stack: list[tuple[int, bool]] = [(e, False)]
+        while stack:
+            v, done = stack.pop()
+            if done:
+                order.append(v)
+                continue
+            if seen[v]:
+                continue
+            seen[v] = True
+            stack.append((v, True))
+            for s in cfg.succs[v]:
+                if s not in rs.markers and not seen[s]:
+                    stack.append((s, False))
+    for v in order:  # children first
+        tail = max((memo.get(s, 0) for s in cfg.succs[v]
+                    if s not in rs.markers), default=0)
+        memo[v] = tail + _instr_worst_cycles(rs, v, cost_table, costs,
+                                             worst_mem)
+    worst_entry = max(entries, key=lambda e: memo.get(e, 0), default=0)
+    worst = memo.get(worst_entry, 0)
+    if worst > budget_cycles:
+        out.append(make_finding(
+            "L011", ctx.loc(worst_entry),
+            f"checkpoint region starting here runs up to {worst} "
+            f"worst-case cycles, over the {budget_cycles}-cycle "
+            f"capacitor budget: one full charge cannot complete it, so "
+            f"re-execution livelocks (split the region with a "
+            f"checkpoint)"))
+    return out
+
+
+def _check_dead_checkpoints(rs: _RegionState) -> list[Finding]:
+    """L013: markers that persist nothing new."""
+    ctx = rs.ctx
+    out = []
+    for m in sorted(rs.markers):
+        if not rs.cfg.reachable[m]:
+            out.append(make_finding(
+                "L013", ctx.loc(m),
+                "checkpoint marker on unreachable code is never crossed"))
+        elif m == 0:
+            out.append(make_finding(
+                "L013", ctx.loc(m),
+                "checkpoint marker at the entry duplicates the implicit "
+                "entry boundary"))
+        elif not rs.stored_into.get(m, 0):
+            out.append(make_finding(
+                "L013", ctx.loc(m),
+                "no path into this checkpoint stores anything since the "
+                "previous boundary: it persists nothing new"))
+    return out
+
+
+def _check_unreachable_commit(rs: _RegionState) -> list[Finding]:
+    """L014: stores with no path to any boundary."""
+    cfg = rs.cfg
+    boundaries = {b for b in (rs.markers | rs.halts) if b < cfg.n}
+    can_commit = [False] * cfg.n
+    work = [b for b in boundaries]
+    for b in work:
+        can_commit[b] = True
+    while work:
+        i = work.pop()
+        for p in cfg.preds[i]:
+            if not can_commit[p]:
+                can_commit[p] = True
+                work.append(p)
+    ctx = rs.ctx
+    out = []
+    for i, ins in enumerate(rs.instrs):
+        if ins[0] not in oc.STORE_FORMAT or not cfg.reachable[i]:
+            continue
+        if not can_commit[i]:
+            out.append(make_finding(
+                "L014", ctx.loc(i),
+                f"{oc.MNEMONICS[ins[0]]} can never reach a checkpoint or "
+                f"halt: the write is lost at the next outage, every time"))
+    return out
+
+
+def run_intermittent_rules(program: Program,
+                           budget_cycles: int | None = None,
+                           config=None) -> list[Finding]:
+    """Run L009-L014 over one program; returns raw (unwaived) findings.
+
+    ``budget_cycles`` overrides the derived capacitor budget for L011;
+    ``config`` supplies cost/geometry/energy knobs (default
+    :class:`~repro.sim.config.SimConfig`).
+    """
+    if config is None:
+        from repro.sim.config import SimConfig
+        config = SimConfig()
+    ctx = LintContext(program)
+    rs = _RegionState(ctx)
+    rmw = _find_rmw_sites(rs)
+    findings: list[Finding] = []
+    findings.extend(_check_war_and_torn(rs, set(rmw)))
+    findings.extend(_report_rmw(rs, rmw))
+    findings.extend(_check_region_budget(rs, budget_cycles, config.costs,
+                                         config))
+    findings.extend(_check_dead_checkpoints(rs))
+    findings.extend(_check_unreachable_commit(rs))
+    findings.sort(key=lambda f: (f.rule, f.location))
+    return findings

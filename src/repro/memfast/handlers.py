@@ -68,6 +68,7 @@ def _make(source: str, *args):
     exec(code, ns)
     fn = ns["_make"](*args)
     fn._memfast = True  # lets the JIT's shadow check wave it through
+    fn._memfast_source = source  # audited against a fresh re-render
     return fn
 
 
@@ -189,38 +190,38 @@ _STORE_SHAPES = (
 )
 
 
-def build_load(m, acc, slow_load):
-    """The generic load-hit handler (shared base-class load semantics)."""
+def load_source(m) -> str:
+    """Render the load-hit handler source for a live memory system (the
+    baked literals come straight off ``m``, so a fresh render is the
+    auditor's ground truth for what the handler *should* contain)."""
     array = m.array
-    src = _LOAD_TMPL.format(
+    return _LOAD_TMPL.format(
         shift=array.line_shift, smask=array.set_mask,
         stamp=_STAMP8 if array._lru else "",
         e_read=m._e_read, wmask=m._word_mask,
         hit_cycles=m._hit_read_cycles)
-    return _make(src, array.sets, array.mru, acc, slow_load)
 
 
-def build_wb_stores(m, acc, slow_sm):
-    """store/store_masked for plain write-back hits (NVSRAM*, NVCache)."""
+def wb_store_sources(m) -> dict[str, str]:
+    """Rendered plain write-back store handler sources, keyed by name."""
     array = m.array
     out = {}
     for name, sig, slow_call, merge in _STORE_SHAPES:
-        src = _WB_STORE_TMPL.format(
+        out[name] = _WB_STORE_TMPL.format(
             name=name, sig=sig, slow_call=slow_call, merge=merge,
             shift=array.line_shift, smask=array.set_mask,
             stamp=_STAMP8 if array._lru else "",
             e_write=m._e_write, wmask=m._word_mask,
             hit_cycles=m._hit_write_cycles)
-        out[name] = _make(src, array.sets, array.mru, acc, slow_sm)
     return out
 
 
-def build_wl_stores(m, acc, slow_sm, dq_entry_cls):
-    """store/store_masked for WL-Cache's two fast cases (§5.1)."""
+def wl_store_sources(m) -> dict[str, str]:
+    """Rendered WL-Cache store handler sources, keyed by name."""
     array = m.array
     out = {}
     for name, sig, slow_call, merge in _STORE_SHAPES:
-        src = _WL_STORE_TMPL.format(
+        out[name] = _WL_STORE_TMPL.format(
             name=name, sig=sig, slow_call=slow_call, merge=merge,
             shift=array.line_shift, smask=array.set_mask,
             stamp=_STAMP8 if array._lru else "",
@@ -228,6 +229,25 @@ def build_wl_stores(m, acc, slow_sm, dq_entry_cls):
             e_write=m._e_write, wmask=m._word_mask,
             hit_cycles=m._hit_write_cycles,
             dq_energy=m.dq_access_energy_nj)
-        out[name] = _make(src, array.sets, array.mru, acc, m, m.dq,
-                          m.dq.entries, m.pending, dq_entry_cls, slow_sm)
     return out
+
+
+def build_load(m, acc, slow_load):
+    """The generic load-hit handler (shared base-class load semantics)."""
+    array = m.array
+    return _make(load_source(m), array.sets, array.mru, acc, slow_load)
+
+
+def build_wb_stores(m, acc, slow_sm):
+    """store/store_masked for plain write-back hits (NVSRAM*, NVCache)."""
+    array = m.array
+    return {name: _make(src, array.sets, array.mru, acc, slow_sm)
+            for name, src in wb_store_sources(m).items()}
+
+
+def build_wl_stores(m, acc, slow_sm, dq_entry_cls):
+    """store/store_masked for WL-Cache's two fast cases (§5.1)."""
+    array = m.array
+    return {name: _make(src, array.sets, array.mru, acc, m, m.dq,
+                        m.dq.entries, m.pending, dq_entry_cls, slow_sm)
+            for name, src in wl_store_sources(m).items()}

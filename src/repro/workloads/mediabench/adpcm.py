@@ -154,6 +154,7 @@ def build_adpcmencode(scale: float = 1.0) -> Program:
     b.li(inp, in_addr)
     b.li(outp, out_addr)
     with b.for_range(i, 0, n):
+        b.checkpoint()
         b.lw(s, inp, 0)
         b.addi(inp, inp, 4)
         # step = STEP_TABLE[index]
@@ -208,6 +209,7 @@ def build_adpcmdecode(scale: float = 1.0) -> Program:
     b.li(inp, in_addr)
     b.li(outp, out_addr)
     with b.for_range(i, 0, n):
+        b.checkpoint()
         b.lw(code, inp, 0)
         b.addi(inp, inp, 4)
         b.slli(t, index, 2)

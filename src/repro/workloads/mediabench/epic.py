@@ -95,7 +95,9 @@ def _emit_filter(b, src_addr, dst_addr, w, h, horizontal, regs):
     y, x, k, acc, idx, t, u = regs
     n = w if horizontal else h
     with b.for_range(y, 0, h):
+        b.checkpoint()
         with b.for_range(x, 0, w):
+            b.checkpoint()
             b.li(acc, 0)
             for ki in range(5):
                 # idx = mirror((x|y) + ki - 2, n)
@@ -143,7 +145,9 @@ def _emit_filter(b, src_addr, dst_addr, w, h, horizontal, regs):
 def _emit_decimate(b, src_addr, dst_addr, w, h, regs):
     y, x, t, u = regs
     with b.for_range(y, 0, h // 2):
+        b.checkpoint()
         with b.for_range(x, 0, w // 2):
+            b.checkpoint()
             b.slli(t, y, 1)
             b.li(u, w)
             b.mul(t, t, u)
@@ -163,7 +167,9 @@ def _emit_decimate(b, src_addr, dst_addr, w, h, regs):
 def _emit_residual(b, img_addr, low_addr, out_addr, w, h, regs):
     y, x, t, u, v = regs
     with b.for_range(y, 0, h):
+        b.checkpoint()
         with b.for_range(x, 0, w):
+            b.checkpoint()
             b.li(t, w)
             b.mul(t, y, t)
             b.add(t, t, x)

@@ -213,6 +213,7 @@ def build_g721encode(scale: float = 1.0) -> Program:
     b.li(r["inp"], in_addr)
     b.li(r["outp"], out_addr)
     with b.for_range(r["i"], 0, n):
+        b.checkpoint()
         b.lw(r["s"], r["inp"], 0)
         b.addi(r["inp"], r["inp"], 4)
         _emit_predict(b, r)
@@ -255,6 +256,7 @@ def build_g721decode(scale: float = 1.0) -> Program:
     b.li(r["inp"], in_addr)
     b.li(r["outp"], out_addr)
     with b.for_range(r["i"], 0, n):
+        b.checkpoint()
         b.lw(r["code"], r["inp"], 0)
         b.addi(r["inp"], r["inp"], 4)
         _emit_predict(b, r)

@@ -96,6 +96,7 @@ def build_mpeg2encode(scale: float = 1.0) -> Program:
     cp, rp = b.regs("cp", "rp")
 
     with b.for_range(mb, 0, n_mbs):
+        b.checkpoint()
         b.slli(t, mb, 3)
         b.addi(t, t, mb_addr)
         b.lw(mx, t, 0)
@@ -104,9 +105,12 @@ def build_mpeg2encode(scale: float = 1.0) -> Program:
         b.li(bdx, 0)
         b.li(bdy, 0)
         with b.for_range(dy, -radius, radius + 1):
+            b.checkpoint()
             with b.for_range(dx, -radius, radius + 1):
+                b.checkpoint()
                 b.li(sad, 0)
                 with b.for_range(r, 0, _MB):
+                    b.checkpoint()
                     # cp = &cur[(my+r)*w + mx]
                     b.add(t, my, r)
                     b.li(u, w)
@@ -124,6 +128,7 @@ def build_mpeg2encode(scale: float = 1.0) -> Program:
                     b.slli(t, t, 2)
                     b.addi(rp, t, ref_addr)
                     with b.for_range(c, 0, _MB):
+                        b.checkpoint()
                         b.lw(u, cp, 0)
                         b.lw(v, rp, 0)
                         b.addi(cp, cp, 4)
@@ -145,6 +150,11 @@ def build_mpeg2encode(scale: float = 1.0) -> Program:
         b.sw(bdy, t, 8)
     b.halt()
 
+    b.waive_lint(
+        "L013",
+        "loop-head checkpoints in register-only regions still commit "
+        "induction and accumulator registers; no NVM store precedes "
+        "them by design")
     prog = b.build()
     expected = []
     for sad, dx, dy in motion_search_host(cur, ref, w, mbs, radius):
@@ -179,6 +189,7 @@ def build_mpeg2decode(scale: float = 1.0) -> Program:
     b.li(resp, res_addr)
     b.li(outp, out_addr)
     with b.for_range(mb, 0, n_mbs):
+        b.checkpoint()
         b.slli(t, mb, 3)
         b.addi(t, t, mb_addr)
         b.lw(mx, t, 0)
@@ -188,6 +199,7 @@ def build_mpeg2decode(scale: float = 1.0) -> Program:
         b.lw(dx, t, 0)
         b.lw(dy, t, 4)
         with b.for_range(r, 0, _MB):
+            b.checkpoint()
             b.add(t, my, dy)
             b.add(t, t, r)
             b.li(u, w)
@@ -197,6 +209,7 @@ def build_mpeg2decode(scale: float = 1.0) -> Program:
             b.slli(t, t, 2)
             b.addi(rp, t, ref_addr)
             with b.for_range(c, 0, _MB):
+                b.checkpoint()
                 b.lw(u, rp, 0)
                 b.addi(rp, rp, 4)
                 b.lw(v, resp, 0)

@@ -49,15 +49,18 @@ def build(scale: float = 1.0) -> Program:
     b.li(mp, msg)
 
     with b.for_range(blk, 0, nblocks):
+        b.checkpoint()
         # --- schedule: w[0..15] = block words ---
         b.li(wp, w_buf)
         with b.for_range(i, 0, 16):
+            b.checkpoint()
             b.lw(t1, mp, 0)
             b.sw(t1, wp, 0)
             b.addi(mp, mp, 4)
             b.addi(wp, wp, 4)
         # --- expansion: w[i] = rotl1(w[i-3]^w[i-8]^w[i-14]^w[i-16]) ---
         with b.for_range(i, 16, 80):
+            b.checkpoint()
             b.lw(t1, wp, -12)
             b.lw(t2, wp, -32)
             b.xor(t1, t1, t2)
@@ -78,6 +81,7 @@ def build(scale: float = 1.0) -> Program:
         b.mv(e, h4)
         b.li(wp, w_buf)
         with b.for_range(i, 0, 80):
+            b.checkpoint()
             with b.if_else(i, "<", 20) as phase2plus:
                 # f = (b & c) | (~b & d)
                 b.and_(f, bb, c)

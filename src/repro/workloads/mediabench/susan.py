@@ -79,7 +79,9 @@ def _build(corners: bool, scale: float) -> Program:
     t, u, v, p = b.regs("t", "u", "v", "p")
 
     with b.for_range(y, 3, h - 3):
+        b.checkpoint()
         with b.for_range(x, 3, w - 3):
+            b.checkpoint()
             b.li(t, w)
             b.mul(p, y, t)
             b.add(p, p, x)
@@ -87,7 +89,12 @@ def _build(corners: bool, scale: float) -> Program:
             b.addi(t, p, img_addr)
             b.lw(nuc, t, 0)
             b.li(area, 0)
-            for dx, dy in MASK:
+            for scan_i, (dx, dy) in enumerate(MASK):
+                if scan_i == len(MASK) // 2:
+                    # One full unrolled 37-pixel scan overruns the
+                    # capacitor budget (L011); the running area lives in
+                    # a register, so a bare progress marker splits it.
+                    b.checkpoint()
                 off = (dy * w + dx) * 4
                 b.addi(t, p, img_addr + off)
                 b.lw(u, t, 0)
@@ -103,6 +110,11 @@ def _build(corners: bool, scale: float) -> Program:
                 b.sw(u, t, 0)
     b.halt()
 
+    b.waive_lint(
+        "L013",
+        "the mid-scan checkpoint commits register progress (the area "
+        "accumulator and loop counters); no NVM store precedes it by "
+        "design, so the 'saves no stores' heuristic does not apply")
     prog = b.build()
     prog.meta["suite"] = "mediabench"
     prog.meta["checks"] = [(out_addr, susan_host(img, w, h, corners))]

@@ -105,6 +105,7 @@ def _build(inverse: bool, scale: float) -> Program:
     # --- bit-reversal permutation ---
     for base in (re_addr, im_addr):
         with b.for_range(i, 0, n):
+            b.checkpoint()
             # j = bit_reverse(i)
             b.li(j, 0)
             b.mv(t, i)
@@ -133,12 +134,15 @@ def _build(inverse: bool, scale: float) -> Program:
     idx = b.reg("idx")
     b.li(size, 2)
     with b.while_(size, "<=", n):
+        b.checkpoint()
         b.srli(half, size, 1)
         b.li(step, n)
         b.div(step, step, size)
         b.li(start, 0)
         with b.while_(start, "<", n):
+            b.checkpoint()
             with b.for_range(k, 0, half):
+                b.checkpoint()
                 # c/s = sign-extended halfword twiddles at k*step
                 b.mul(idx, k, step)
                 b.slli(idx, idx, 2)

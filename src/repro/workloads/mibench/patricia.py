@@ -93,6 +93,7 @@ def build(scale: float = 1.0) -> Program:
     # ---- insertion ----
     b.li(kp, keys_addr)
     with b.for_range(i, 0, n_keys):
+        b.checkpoint()
         b.lw(key, kp, 0)
         b.addi(kp, kp, 4)
         with b.if_else(nnodes, "==", 1) as nonempty:
@@ -107,6 +108,7 @@ def build(scale: float = 1.0) -> Program:
             nonempty()
             b.li(cur, 1)
             with b.loop() as walk:
+                b.checkpoint()
                 node_addr(node_p, cur)
                 b.lw(t, node_p, 12)
                 walk.break_if(t, "==", key)  # duplicate: nothing to do
@@ -140,6 +142,7 @@ def build(scale: float = 1.0) -> Program:
     b.li(kp, probes_addr)
     b.li(hp, hits_addr)
     with b.for_range(i, 0, n_probes):
+        b.checkpoint()
         b.lw(key, kp, 0)
         b.addi(kp, kp, 4)
         b.li(cur, 0)
@@ -147,6 +150,7 @@ def build(scale: float = 1.0) -> Program:
             b.li(cur, 1)
         b.li(t, 0)  # hit flag in t
         with b.loop() as walk:
+            b.checkpoint()
             walk.break_if(cur, "==", 0)
             node_addr(node_p, cur)
             b.addi(csum, csum, 1)
@@ -166,6 +170,11 @@ def build(scale: float = 1.0) -> Program:
     b.sw_addr(csum, csum_addr)
     b.halt()
 
+    b.waive_lint(
+        "L013",
+        "loop-head checkpoints in register-only regions still commit "
+        "induction and accumulator registers; no NVM store precedes "
+        "them by design")
     prog = b.build()
     # guest walk semantics: side chosen by bit CLEAR -> left(4) else right(8);
     # the host mirror uses: side = 1 if bit clear else 2

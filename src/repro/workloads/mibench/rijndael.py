@@ -193,11 +193,21 @@ def _build(decrypt: bool, scale: float) -> Program:
             b.sw(u, st, 4 * w)
 
     def sub_shift():
-        """tmp = SubBytes(ShiftRows(state)); then copy back."""
+        """tmp = SubBytes(ShiftRows(state)); then copy back.
+
+        The S-box scan alone is ~56 NVM accesses, more than half the
+        worst-case capacitor budget (L011), so the stage is split into
+        three regions: two 8-byte scan halves and the copy-back. The
+        first half rides on the caller's region (the round marker in
+        the loop, the last mix column in the final-round tail).
+        """
         for out_i in range(16):
+            if out_i == 8:
+                b.checkpoint()
             b.lbu(u, st, shift_map[out_i])
             _emit_lookup(b, u, sboxr, u, t)
             b.sb(u, tm, out_i)
+        b.checkpoint()
         for w in range(4):
             b.lw(u, tm, 4 * w)
             b.sw(u, st, 4 * w)
@@ -207,6 +217,7 @@ def _build(decrypt: bool, scale: float) -> Program:
         b.li(tbl2, t2)
         b.li(tbl3, t3)
         for c in range(4):
+            b.checkpoint()  # per-column region: ~16 NVM accesses each
             b.lbu(a0, st, 4 * c)
             b.lbu(a1, st, 4 * c + 1)
             b.lbu(a2, st, 4 * c + 2)
@@ -241,6 +252,7 @@ def _build(decrypt: bool, scale: float) -> Program:
         b.li(tD, mix_tables[3])
         order = [tA, tB, tC, tD]
         for c in range(4):
+            b.checkpoint()  # per-column region: ~24 NVM accesses each
             b.lbu(a0, st, 4 * c)
             b.lbu(a1, st, 4 * c + 1)
             b.lbu(a2, st, 4 * c + 2)
@@ -260,6 +272,7 @@ def _build(decrypt: bool, scale: float) -> Program:
         b.free(tA, tB, tC, tD)
 
     with b.for_range(blk, 0, nblocks):
+        b.checkpoint()
         # load block into state
         for w in range(4):
             b.lw(u, inp, 4 * w)
@@ -269,6 +282,7 @@ def _build(decrypt: bool, scale: float) -> Program:
             b.li(rkp, rk_addr)  # rk0
             add_round_key()
             with b.for_range(r, 0, 9):
+                b.checkpoint()
                 b.addi(rkp, rkp, 16)
                 sub_shift()
                 mix_columns_enc()
@@ -280,6 +294,7 @@ def _build(decrypt: bool, scale: float) -> Program:
             b.li(rkp, rk_addr + 160)  # rk10
             add_round_key()
             with b.for_range(r, 0, 9):
+                b.checkpoint()
                 b.addi(rkp, rkp, -16)
                 sub_shift()
                 add_round_key()
@@ -293,6 +308,20 @@ def _build(decrypt: bool, scale: float) -> Program:
         b.addi(outp, outp, 16)
     b.halt()
 
+    # AES updates its 16-byte state block in place every stage, so the
+    # read-then-overwrite pattern (WAR, RMW, subword commits into words
+    # the region read) is inherent to the kernel, not an oversight. On
+    # every simulated design the checkpoint protocol snapshots dirty
+    # cache lines together with register state and re-executes against
+    # that snapshot, so in-place NVM updates inside a region stay
+    # idempotent; rewriting the kernel to double-buffer the state would
+    # change the access pattern the cache study measures.
+    _WHY = ("in-place AES state update; regions re-execute against the "
+            "checkpoint-snapshotted cache image, and double-buffering "
+            "would distort the store locality under study")
+    b.waive_lint("L009", _WHY)
+    b.waive_lint("L010", _WHY)
+    b.waive_lint("L012", _WHY)
     prog = b.build()
     exp_words = [int.from_bytes(expected[i:i + 4], "little")
                  for i in range(0, len(expected), 4)]

@@ -1,0 +1,168 @@
+"""CFG supergraph edge cases and the disassembler round-trip property.
+
+The supergraph's unusual corners - indirect ``jalr`` fan-out, a kernel
+calling itself, the entry block doubling as a loop head - each get a
+direct structural test; a hypothesis property then checks that
+``assemble(to_asm(p))`` reproduces instructions, lint meta, and the CFG
+for arbitrary well-formed programs.
+"""
+
+import pytest
+
+from repro.isa import opcodes as oc
+from repro.isa.assembler import assemble
+from repro.isa.disasm import to_asm
+from repro.isa.program import Program
+from repro.lint.cfg import build_cfg
+from repro.lint.rules import LintContext
+
+
+class TestIndirectJumps:
+    def test_indirect_jalr_targets_every_leader(self):
+        prog = assemble("""
+            li t0, 4
+            jalr zero, t0, 0
+            li t1, 1
+            halt
+            li t2, 2
+            halt
+        """)
+        cfg = build_cfg(prog.instructions)
+        assert cfg.has_indirect_jumps
+        leaders = [b.start for b in cfg.blocks]
+        assert cfg.succs[1] == leaders
+        # conservative fan-out makes everything reachable
+        assert all(cfg.reachable)
+
+    def test_linking_jalr_is_indirect_not_return(self):
+        # jalr with rd != x0 links, so it cannot be the ret idiom even
+        # through ra
+        prog = assemble("""
+            jalr t0, ra, 0
+            halt
+        """)
+        cfg = build_cfg(prog.instructions)
+        assert cfg.has_indirect_jumps
+
+    def test_return_with_no_call_sites_terminates(self):
+        prog = assemble("""
+            ret
+            halt
+        """)
+        cfg = build_cfg(prog.instructions)
+        assert not cfg.has_indirect_jumps
+        assert cfg.succs[0] == []          # no return sites to go to
+        assert cfg.reachable == [True, False]
+
+
+class TestSelfRecursion:
+    ASM = """
+        call fn
+        halt
+    fn:
+        call fn
+        ret
+    """
+
+    def test_self_call_edges(self):
+        prog = assemble(self.ASM)
+        cfg = build_cfg(prog.instructions)
+        assert cfg.return_sites == [1, 3]
+        assert cfg.succs[0] == [2]         # outer call enters the callee
+        assert cfg.succs[2] == [2]         # the self-call loops on entry
+        assert cfg.succs[3] == [1, 3]      # ret fans out to both sites
+        # the call edge goes to the callee only, so the self-call spins
+        # on its own entry and the ret (and outer continuation) stay
+        # forward-unreachable - the conservative reading of infinite
+        # recursion
+        assert cfg.reachable == [True, False, True, False]
+
+    def test_lint_context_survives_self_recursion(self):
+        # the dataflow fixpoints must terminate on the call cycle
+        prog = assemble(self.ASM)
+        ctx = LintContext(prog)
+        assert ctx.consts is not None
+        assert ctx.liveness is not None
+
+
+class TestEntryLoopHead:
+    def test_branch_back_to_entry(self):
+        prog = assemble("""
+        entry:
+            addi t0, t0, 1
+            bne t0, t1, entry
+            halt
+        """)
+        cfg = build_cfg(prog.instructions)
+        assert 0 in cfg.succs[1]           # back edge onto the entry
+        assert 1 in cfg.preds[0]
+        assert [(b.start, b.end) for b in cfg.blocks] == [(0, 2), (2, 3)]
+        assert all(b.reachable for b in cfg.blocks)
+
+    def test_jump_back_to_entry(self):
+        prog = Program("spin", [(oc.ADDI, 3, 3, 1), (oc.JAL, 0, 0, 0),
+                                (oc.HALT, 0, 0, 0)])
+        cfg = build_cfg(prog.instructions)
+        assert cfg.succs[1] == [0]
+        assert cfg.reachable == [True, True, False]
+
+
+# ---------------------------------------------------------------------------
+# property: to_asm round-trips programs, lint meta, and the CFG
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+regs = st.integers(min_value=0, max_value=7)
+
+
+def instr_strategies(n: int):
+    idx = st.integers(min_value=0, max_value=n - 1)
+    return st.one_of(
+        st.tuples(st.just(oc.ADDI), regs, regs,
+                  st.integers(min_value=-32, max_value=32)),
+        st.tuples(st.just(oc.ADD), regs, regs, regs),
+        st.tuples(st.just(oc.LW), regs, regs,
+                  st.integers(min_value=0, max_value=64)),
+        st.tuples(st.just(oc.SW), regs, regs,
+                  st.integers(min_value=0, max_value=64)),
+        st.tuples(st.just(oc.BEQ), regs, regs, idx),
+        st.tuples(st.just(oc.BNE), regs, regs, idx),
+        st.tuples(st.just(oc.JAL), st.just(0), idx, st.just(0)),
+        st.tuples(st.just(oc.JAL), st.just(1), idx, st.just(0)),
+        st.tuples(st.just(oc.JALR), st.just(0), st.just(1), st.just(0)),
+        st.tuples(st.just(oc.HALT), st.just(0), st.just(0), st.just(0)),
+    )
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    instrs = [draw(instr_strategies(n)) for _ in range(n - 1)]
+    instrs.append((oc.HALT, 0, 0, 0))  # validate() wants a HALT
+    prog = Program("fuzz", [tuple(i) for i in instrs])
+    marks = draw(st.lists(st.integers(min_value=0, max_value=n - 1),
+                          max_size=3, unique=True))
+    if marks:
+        prog.meta["checkpoints"] = sorted(marks)
+    if draw(st.booleans()):
+        prog.meta["lint_waivers"] = [
+            {"rule": "L010", "reason": "fuzz waiver"}]
+    return prog
+
+
+@given(programs())
+@settings(max_examples=60, deadline=None)
+def test_to_asm_round_trip(prog):
+    back = assemble(to_asm(prog), mem_bytes=prog.mem_bytes)
+    assert back.instructions == prog.instructions
+    assert sorted(back.meta.get("checkpoints", [])) == \
+        sorted(prog.meta.get("checkpoints", []))
+    assert back.meta.get("lint_waivers", []) == \
+        prog.meta.get("lint_waivers", [])
+    a, b = build_cfg(prog.instructions), build_cfg(back.instructions)
+    assert a.succs == b.succs
+    assert a.reachable == b.reachable
+    assert [(blk.start, blk.end) for blk in a.blocks] == \
+        [(blk.start, blk.end) for blk in b.blocks]

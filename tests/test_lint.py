@@ -225,6 +225,16 @@ class TestSuiteAndReporting:
         assert exit_code({"a": lint_program(err),
                           "b": lint_program(warn)}) == EXIT_ERRORS
 
+    def test_errors_only_ignores_warnings(self):
+        # --errors-only demotes warning-carrying runs to a clean exit;
+        # errors still gate
+        warn = assemble("j end\nli t0, 1\nend:\nhalt")
+        err = Program("bad", [(oc.BEQ, 0, 0, 99), (oc.HALT, 0, 0, 0)])
+        assert exit_code({"a": lint_program(warn)},
+                         errors_only=True) == EXIT_CLEAN
+        assert exit_code({"a": lint_program(err)},
+                         errors_only=True) == EXIT_ERRORS
+
     def test_text_format(self):
         results = {"p": [make_finding("L001", "p@3", "reads t0")]}
         text = format_findings_text(results)
@@ -242,7 +252,7 @@ class TestSuiteAndReporting:
     def test_rule_registry_severities(self):
         assert RULES["L001"].severity == ERROR
         assert RULES["L002"].severity == WARNING
-        assert len(RULES) == 8
+        assert len(RULES) == 14  # L001-L008 + intermittency L009-L014
         counts = count_by_severity([make_finding("L001", "x", "m"),
                                     make_finding("L003", "x", "m")])
         assert counts == {"error": 1, "warning": 1, "info": 0}

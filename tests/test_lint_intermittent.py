@@ -1,0 +1,413 @@
+"""The intermittency-safety rules (L009-L014) and their plumbing.
+
+Each rule gets its textbook seeded defect and the idiom that must stay
+clean; the marker/waiver plumbing is exercised through both front ends
+(the builder's ``checkpoint()``/``waive_lint()`` and the assembler's
+``.ckpt``/``.waive`` directives).
+"""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.builder import ProgramBuilder
+from repro.lint.findings import INFO, WARNING
+from repro.lint.intermittent import (checkpoint_markers,
+                                     default_budget_cycles,
+                                     run_intermittent_rules)
+from repro.lint.runner import (EXIT_CLEAN, EXIT_WARNINGS, apply_waivers,
+                               exit_code, format_findings_text,
+                               lint_program, lint_workloads)
+from repro.sim.config import SimConfig
+from repro.workloads import ALL_WORKLOADS
+
+
+def ifindings(text: str, **kw):
+    return run_intermittent_rules(assemble(text), **kw)
+
+
+def irules(text: str, **kw) -> set[str]:
+    return {f.rule for f in ifindings(text, **kw)}
+
+
+BIG = 10**9  # budget that no test-sized region can exceed
+
+
+class TestWarHazard:
+    """L009: full-word store over a word the region already read."""
+
+    def test_store_over_exposed_read(self):
+        assert "L009" in irules("""
+            li t0, 0x1000
+            lw t1, 0(t0)
+            li t2, 5
+            sw t2, 0(t0)
+            halt
+        """, budget_cycles=BIG)
+
+    def test_shielded_by_earlier_store(self):
+        # written-before-read: re-execution regenerates the value
+        assert irules("""
+            li t0, 0x1000
+            li t2, 5
+            sw t2, 0(t0)
+            lw t1, 0(t0)
+            sw t2, 0(t0)
+            halt
+        """, budget_cycles=BIG) == set()
+
+    def test_checkpoint_between_read_and_write_silences(self):
+        rules = irules("""
+            li t0, 0x1000
+            lw t1, 0(t0)
+            li t2, 5
+        .ckpt
+            sw t2, 0(t0)
+            halt
+        """, budget_cycles=BIG)
+        assert "L009" not in rules
+
+    def test_exposure_joins_across_branches(self):
+        # the read happens on one path only: may-analysis must keep it
+        assert "L009" in irules("""
+            li t0, 0x1000
+            li t2, 5
+            beq t2, zero, skip
+            lw t1, 0(t0)
+        skip:
+            sw t2, 0(t0)
+            halt
+        """, budget_cycles=BIG)
+
+    def test_different_words_do_not_alias(self):
+        assert irules("""
+            li t0, 0x1000
+            lw t1, 0(t0)
+            li t2, 5
+            sw t2, 4(t0)
+            halt
+        """, budget_cycles=BIG) == set()
+
+
+class TestNonIdempotentRmw:
+    """L010: load -> dependent ALU -> store back, no marker between."""
+
+    def test_increment_in_place(self):
+        rules = irules("""
+            li t0, 0x1000
+            lw t1, 0(t0)
+            addi t1, t1, 1
+            sw t1, 0(t0)
+            halt
+        """, budget_cycles=BIG)
+        assert "L010" in rules
+        assert "L009" not in rules  # same site, one root cause
+
+    def test_register_indexed_rmw_caught(self):
+        # the base comes from memory, so L009's const resolution is
+        # blind here - the syntactic chain still matches
+        assert "L010" in irules("""
+            li t0, 0x1000
+            lw t0, 0(t0)
+            lw t1, 0(t0)
+            addi t1, t1, 1
+            sw t1, 0(t0)
+            halt
+        """, budget_cycles=BIG)
+
+    def test_pointer_walk_is_not_rmw(self):
+        # the base register is reloaded between the load and the store:
+        # the address expression no longer means the same location
+        assert irules("""
+            li t0, 0x1000
+            lw t1, 0(t0)
+            lw t0, 4(t0)
+            sw t1, 0(t0)
+            halt
+        """, budget_cycles=BIG) == set()
+
+    def test_base_redefined_by_alu_retires_record(self):
+        assert "L010" not in irules("""
+            li t0, 0x1000
+            lw t1, 0(t0)
+            addi t1, t1, 1
+            addi t0, t0, 64
+            sw t1, 0(t0)
+            halt
+        """, budget_cycles=BIG)
+
+    def test_checkpoint_between_commits_the_load(self):
+        rules = irules("""
+            li t0, 0x1000
+            lw t1, 0(t0)
+        .ckpt
+            addi t1, t1, 1
+            sw t1, 0(t0)
+            halt
+        """, budget_cycles=BIG)
+        assert "L010" not in rules
+
+    def test_untainted_store_is_not_rmw(self):
+        rules = irules("""
+            li t0, 0x1000
+            lw t1, 0(t0)
+            li t2, 5
+            sw t2, 0(t0)
+            halt
+        """, budget_cycles=BIG)
+        assert "L010" not in rules
+
+
+class TestRegionBudget:
+    """L011: checkpoint-free cycles, then worst-case path vs budget."""
+
+    def test_unmarked_loop_is_unbounded(self):
+        msgs = [f for f in ifindings("""
+            li t0, 10
+        loop:
+            addi t0, t0, -1
+            bne t0, zero, loop
+            halt
+        """) if f.rule == "L011"]
+        assert msgs and "crosses no checkpoint" in msgs[0].message
+
+    def test_marker_in_loop_body_bounds_it(self):
+        assert "L011" not in irules("""
+            li t0, 10
+        loop:
+        .ckpt
+            addi t0, t0, -1
+            bne t0, zero, loop
+            halt
+        """, budget_cycles=BIG)
+
+    def test_budget_override_flags_straight_line(self):
+        findings = [f for f in ifindings("""
+            li t0, 0x1000
+            li t1, 1
+            sw t1, 0(t0)
+            halt
+        """, budget_cycles=1) if f.rule == "L011"]
+        assert findings and "capacitor budget" in findings[0].message
+
+    def test_straight_line_fits_default_budget(self):
+        assert "L011" not in irules("""
+            li t0, 0x1000
+            li t1, 1
+            sw t1, 0(t0)
+            halt
+        """)
+
+    def test_default_budget_scales_with_capacitance(self):
+        small = default_budget_cycles()
+        big = default_budget_cycles(
+            SimConfig(capacitance_f=SimConfig().capacitance_f * 4))
+        assert 0 < small < big
+
+
+class TestTornMaskedStore:
+    """L012: subword store into a word the region already read."""
+
+    def test_sb_into_exposed_word(self):
+        assert "L012" in irules("""
+            li t0, 0x1000
+            lw t1, 0(t0)
+            li t2, 7
+            sb t2, 1(t0)
+            halt
+        """, budget_cycles=BIG)
+
+    def test_sb_into_unread_word_clean(self):
+        assert irules("""
+            li t0, 0x1000
+            li t2, 7
+            sb t2, 1(t0)
+            halt
+        """, budget_cycles=BIG) == set()
+
+
+class TestDeadCheckpoint:
+    """L013 (info): markers that persist nothing new."""
+
+    def test_storeless_region_into_marker(self):
+        findings = [f for f in ifindings("""
+            li t0, 0x1000
+            li t1, 1
+        .ckpt
+            sw t1, 0(t0)
+            halt
+        """, budget_cycles=BIG) if f.rule == "L013"]
+        assert findings and findings[0].severity == INFO
+
+    def test_marker_at_entry(self):
+        findings = [f for f in ifindings("""
+        .ckpt
+            li t0, 1
+            halt
+        """, budget_cycles=BIG) if f.rule == "L013"]
+        assert findings and "entry" in findings[0].message
+
+    def test_marker_after_store_is_live(self):
+        assert "L013" not in irules("""
+            li t0, 0x1000
+            li t1, 1
+            sw t1, 0(t0)
+        .ckpt
+            sw t1, 4(t0)
+            halt
+        """, budget_cycles=BIG)
+
+    def test_one_storing_path_suffices(self):
+        # stored-ness joins with union: the storing path into the
+        # marker keeps it live even though the other path is storeless
+        assert "L013" not in irules("""
+            li t0, 0x1000
+            li t1, 1
+            beq t1, zero, join
+            sw t1, 0(t0)
+        join:
+        .ckpt
+            sw t1, 4(t0)
+            halt
+        """, budget_cycles=BIG)
+
+
+class TestUnreachableCommit:
+    """L014: a store from which no boundary is reachable."""
+
+    def test_store_in_boundaryless_spin(self):
+        findings = [f for f in ifindings("""
+            li t0, 0x1000
+            li t1, 1
+        spin:
+            sw t1, 0(t0)
+            j spin
+            halt
+        """) if f.rule == "L014"]
+        assert findings and findings[0].severity == WARNING
+
+    def test_marker_inside_spin_commits(self):
+        assert "L014" not in irules("""
+            li t0, 0x1000
+            li t1, 1
+        spin:
+        .ckpt
+            sw t1, 0(t0)
+            j spin
+            halt
+        """)
+
+
+class TestMarkerPlumbing:
+    def test_builder_checkpoint_is_meta_only(self):
+        def make(marked: bool):
+            b = ProgramBuilder("p")
+            t0, t1 = b.regs("t0", "t1")
+            buf = b.space_words(4, "buf")
+            b.li(t0, buf)
+            if marked:
+                b.checkpoint()
+            b.li(t1, 1)
+            b.sw(t1, t0, 0)
+            b.halt()
+            return b.build()
+
+        plain, marked = make(False), make(True)
+        # meta-only: the instruction stream is bit-identical
+        assert marked.instructions == plain.instructions
+        assert checkpoint_markers(plain) == set()
+        assert checkpoint_markers(marked) == {
+            len(marked.instructions) - 3}  # before the li/sw/halt tail
+
+    def test_builder_loop_with_checkpoint_clean(self):
+        b = ProgramBuilder("p")
+        i, t = b.regs("i", "t")
+        buf = b.space_words(8, "buf")
+        with b.for_range(i, 0, 8):
+            b.checkpoint()
+            b.li(t, buf)
+            b.sw(i, t, 0)
+        b.halt()
+        assert "L011" not in {f.rule
+                              for f in run_intermittent_rules(b.build())}
+
+    def test_out_of_range_markers_dropped(self):
+        prog = assemble("halt")
+        prog.meta["checkpoints"] = [-1, 0, 99]
+        assert checkpoint_markers(prog) == {0}
+
+    def test_waive_lint_requires_reason(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(AssemblyError, match="justification"):
+            b.waive_lint("L010", "   ")
+
+
+class TestWaiverPlumbing:
+    WAIVED = """
+        li t0, 0x1000
+        lw t1, 0(t0)
+        addi t1, t1, 1
+        sw t1, 0(t0)
+    .waive L010, accumulator update is restart-protected
+        halt
+    """
+
+    def test_asm_waiver_marks_but_keeps_finding(self):
+        prog = assemble(self.WAIVED)
+        findings = apply_waivers(
+            prog, run_intermittent_rules(prog, budget_cycles=BIG))
+        l010 = [f for f in findings if f.rule == "L010"]
+        assert l010 and l010[0].waived == (
+            "accumulator update is restart-protected")
+
+    def test_waived_findings_do_not_gate(self):
+        prog = assemble(self.WAIVED)
+        results = {"p": lint_program(prog, intermittent=True,
+                                     budget_cycles=BIG)}
+        assert exit_code(results) == EXIT_CLEAN
+        text = format_findings_text(results)
+        assert "waived: accumulator update is restart-protected" in text
+
+    def test_unwaived_rule_still_gates(self):
+        prog = assemble(self.WAIVED.replace("L010", "L009"))
+        results = {"p": lint_program(prog, intermittent=True,
+                                     budget_cycles=BIG)}
+        assert exit_code(results) == EXIT_WARNINGS
+
+
+class TestRunnerIntegration:
+    RMW = """
+        li t0, 0x1000
+        lw t1, 0(t0)
+        addi t1, t1, 1
+        sw t1, 0(t0)
+        halt
+    """
+
+    def test_opt_in_only(self):
+        prog = assemble(self.RMW)
+        assert {f.rule for f in lint_program(prog)} == set()
+        assert "L010" in {f.rule for f in lint_program(
+            prog, intermittent=True, budget_cycles=BIG)}
+
+    def test_info_findings_do_not_gate_exit(self):
+        prog = assemble("""
+            li t0, 0x1000
+            li t1, 1
+        .ckpt
+            sw t1, 0(t0)
+            halt
+        """)
+        findings = lint_program(prog, intermittent=True, budget_cycles=BIG)
+        assert {f.rule for f in findings} == {"L013"}
+        assert exit_code({"p": findings}) == EXIT_CLEAN
+
+    def test_suite_is_triaged_clean(self):
+        # every kernel carries markers (and, where the access pattern is
+        # inherently in-place, justified waivers): nothing may gate
+        results = lint_workloads(scale=0.2, intermittent=True)
+        assert set(results) == set(ALL_WORKLOADS)
+        gating = {w: [f.render() for f in fs
+                      if f.waived is None and f.severity != INFO]
+                  for w, fs in results.items()}
+        assert {w: fs for w, fs in gating.items() if fs} == {}
+        assert exit_code(results) == EXIT_CLEAN
