@@ -1,0 +1,94 @@
+"""CI campaign smoke: a 64-point Monte-Carlo campaign run three ways.
+
+Runs the same ``(workload x design x stochastic family x seed)`` grid
+under the serial loop, the process pool, and the batch record/replay
+engine, asserts the three are point-for-point bit-identical, checks the
+fixed-seed summary statistics are identical across engines, and writes
+the summary CSV/SVG artifacts the CI job uploads.
+
+The golden *content* pin for the statistical pipeline lives in
+``tests/test_mc_stats.py`` (exact-match against
+``tests/goldens/mc_campaign_summary.json``); this smoke guards the
+engine-invariance half of the contract at a size the unit tests don't
+reach (>= 64 points, both kernels batch-amortized across 16 seeds
+each).
+
+Usage::
+
+    PYTHONPATH=src REPRO_BENCH_SCALE=0.1 python benchmarks/campaign_smoke.py
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.mc import (CampaignSpec, campaign_to_dict, run_campaign,
+                      summarize_campaign, write_report)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+SPEC = CampaignSpec(
+    workloads=("sha", "qsort"),
+    designs=("WL-Cache", "NVSRAM(ideal)"),
+    families=("mc-rf-home", "mc-rf-office"),
+    seeds=tuple(range(8)),
+    scale=SCALE,
+)
+
+BATCH_SPEC = CampaignSpec(
+    workloads=SPEC.workloads, designs=SPEC.designs, families=SPEC.families,
+    seeds=SPEC.seeds, scale=SPEC.scale, overrides={"batch": True})
+
+
+def main() -> int:
+    out_dir = os.path.normpath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "results"))
+    os.makedirs(out_dir, exist_ok=True)
+    assert SPEC.n_points >= 64, SPEC.n_points
+
+    t0 = time.perf_counter()
+    serial = run_campaign(SPEC, jobs=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_campaign(SPEC, jobs=max(2, os.cpu_count() or 2))
+    t_parallel = time.perf_counter() - t0
+
+    sd, pd = campaign_to_dict(serial), campaign_to_dict(parallel)
+    if sd != pd:
+        bad = [k for k in serial if serial[k] != parallel[k]]
+        print(f"FAIL: parallel campaign diverged from serial on {bad}")
+        return 1
+
+    t0 = time.perf_counter()
+    batched = run_campaign(BATCH_SPEC, jobs=max(2, os.cpu_count() or 2))
+    t_batch = time.perf_counter() - t0
+    bd = campaign_to_dict(batched)
+    if sd != bd:
+        bad = [k for k in serial if serial[k] != batched[k]]
+        print(f"FAIL: batched campaign diverged from serial on {bad}")
+        return 1
+
+    summaries = [summarize_campaign(pts) for pts in (serial, parallel,
+                                                     batched)]
+    texts = [json.dumps(s, sort_keys=True) for s in summaries]
+    if len(set(texts)) != 1:
+        print("FAIL: summary statistics differ across execution engines")
+        return 1
+    print(f"serial {t_serial:.2f}s / parallel {t_parallel:.2f}s / "
+          f"batch {t_batch:.2f}s - {SPEC.n_points} points bit-identical, "
+          f"summaries identical")
+
+    prefix = os.path.join(out_dir, "campaign_smoke")
+    for path in write_report(summaries[0], prefix):
+        print(f"wrote {path}")
+    for a in summaries[0]["speedup_aggregate"]:
+        print(f"  {a['design']} / {a['family']}: gmean speedup "
+              f"{a['speedup_gmean']:.3f} "
+              f"[{a['ci_lo']:.3f}, {a['ci_hi']:.3f}] (n={a['n']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

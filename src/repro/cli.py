@@ -20,6 +20,12 @@ Commands:
 * ``trace <app> <design> <trace>`` - run with the observability layer
   attached and export the event trace as Chrome/Perfetto ``trace.json``
   (plus optional CSV/text), with a terminal timeline summary.
+* ``campaign`` - run a Monte-Carlo outage campaign: a ``(workload x
+  design x stochastic-trace-family x seed)`` grid whose per-point
+  results are distilled into bootstrap confidence intervals, tail
+  (p95/p99) forward progress, and outage-survival curves, written as
+  JSON/CSV/SVG. Points persist as JSON and partial campaigns merge
+  losslessly (``--from-json``).
 * ``list`` - list available workloads, designs, and traces.
 
 Examples::
@@ -28,6 +34,7 @@ Examples::
     python -m repro run qsort --trace trace2 --maxline 4 --static
     python -m repro compare adpcmencode --trace trace2
     python -m repro trace dijkstra wl trace1 --out trace.json
+    python -m repro campaign --apps sha qsort --seeds 8 --out results/mc
     python -m repro lint --format json
     python -m repro plot results/fig05_trace1.csv
     python -m repro list
@@ -186,6 +193,71 @@ def cmd_sweep(args) -> int:
             w.writerow(headers)
             w.writerows(rows)
         print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    import os
+
+    from repro.mc import (CampaignSpec, merge_campaigns, run_campaign,
+                          save_campaign, summarize_campaign, write_report)
+    from repro.mc.engine import dict_to_points
+
+    if args.from_json:
+        import json as _json
+
+        dicts = []
+        for path in args.from_json:
+            with open(path) as f:
+                dicts.append(_json.load(f))
+        points = dict_to_points(merge_campaigns(dicts))
+        print(f"loaded {len(points)} points from "
+              f"{len(args.from_json)} campaign file(s)")
+    else:
+        overrides = {}
+        for flag in ("jit", "memfast", "batch"):
+            if getattr(args, flag):
+                overrides[flag] = True
+        spec = CampaignSpec(
+            workloads=tuple(args.apps or ALL_WORKLOADS),
+            designs=tuple(args.designs),
+            families=tuple(args.families),
+            seeds=tuple(range(args.seed_offset,
+                              args.seed_offset + args.seeds)),
+            scale=args.scale,
+            verify=not args.no_verify,
+            overrides=overrides)
+        progress = None
+        if not args.quiet:
+            def progress(done, total, key):
+                print(f"\r[{done}/{total}] {key[0]} / {key[1]} / "
+                      f"{key[2]} #{key[3]}        ", end="", flush=True)
+        print(f"campaign: {spec.n_points} points "
+              f"({len(spec.workloads)} workloads x {len(spec.designs)} "
+              f"designs x {len(spec.families)} families x "
+              f"{len(spec.seeds)} seeds)")
+        points = run_campaign(spec, jobs=args.jobs, progress=progress)
+        if progress is not None:
+            print()
+    for target in (args.points_json, args.out):
+        out_dir = os.path.dirname(target) if target else ""
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+    if args.points_json:
+        print(f"points written to {save_campaign(points, args.points_json)}")
+    summary = summarize_campaign(points, confidence=args.confidence,
+                                 n_boot=args.n_boot,
+                                 boot_seed=args.boot_seed)
+    for path in write_report(summary, args.out, svg=not args.no_svg):
+        print(f"wrote {path}")
+    if summary["speedup_aggregate"]:
+        rows = [[a["design"], a["family"], a["n"],
+                 f"{a['speedup_gmean']:.3f}",
+                 f"[{a['ci_lo']:.3f}, {a['ci_hi']:.3f}]"]
+                for a in summary["speedup_aggregate"]]
+        print(f"gmean speedup vs {summary['baseline']} "
+              f"({summary['confidence']:.0%} CI):")
+        print(format_table(["design", "family", "n", "gmean", "CI"], rows))
     return 0
 
 
@@ -411,6 +483,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--stats-json", default=None, metavar="PATH",
                          help="dump run statistics (incl. metrics) as JSON")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_mc = sub.add_parser(
+        "campaign",
+        help="Monte-Carlo outage campaign over stochastic trace ensembles")
+    p_mc.add_argument("--apps", nargs="+", default=None,
+                      choices=ALL_WORKLOADS,
+                      help="workload subset (default: all 23)")
+    p_mc.add_argument("--designs", nargs="+",
+                      default=["WL-Cache", BASELINE_DESIGN],
+                      choices=ALL_DESIGNS)
+    p_mc.add_argument("--families", nargs="+",
+                      default=["mc-rf-home", "mc-rf-office"],
+                      help="stochastic trace families (mc-*, any "
+                           "registered trace, or csv:<recording.csv>)")
+    p_mc.add_argument("--seeds", type=int, default=8, metavar="N",
+                      help="trace seeds per family (default: 8)")
+    p_mc.add_argument("--seed-offset", type=int, default=0, metavar="K",
+                      help="first seed (shard a big campaign across "
+                           "machines, then --from-json merge)")
+    p_mc.add_argument("--jobs", "-j", type=int, default=None,
+                      help="worker processes (default: REPRO_JOBS env, "
+                           "else serial)")
+    p_mc.add_argument("--scale", type=float, default=1.0,
+                      help="workload size multiplier")
+    p_mc.add_argument("--jit", action="store_true",
+                      help=argparse.SUPPRESS)
+    p_mc.add_argument("--memfast", action="store_true",
+                      help=argparse.SUPPRESS)
+    p_mc.add_argument("--batch", action="store_true",
+                      help="batch points sharing a kernel: record once, "
+                           "replay per (design, family, seed)")
+    p_mc.add_argument("--no-verify", action="store_true",
+                      help="skip per-point crash-consistency checks")
+    p_mc.add_argument("--out", default="results/campaign", metavar="PREFIX",
+                      help="output prefix for _summary.json/_summary.csv/"
+                           "_speedup.svg/_survival.svg "
+                           "(default: results/campaign)")
+    p_mc.add_argument("--points-json", default=None, metavar="PATH",
+                      help="also persist the raw per-point results")
+    p_mc.add_argument("--from-json", nargs="+", default=None, metavar="PATH",
+                      help="skip running: merge these campaign JSONs "
+                           "losslessly and summarize the union")
+    p_mc.add_argument("--confidence", type=float, default=0.95)
+    p_mc.add_argument("--n-boot", type=int, default=1000,
+                      help="bootstrap resamples per interval")
+    p_mc.add_argument("--boot-seed", type=int, default=2023,
+                      help="bootstrap RNG seed (summaries are "
+                           "deterministic per seed)")
+    p_mc.add_argument("--no-svg", action="store_true",
+                      help="write only JSON/CSV")
+    p_mc.add_argument("--quiet", action="store_true",
+                      help="suppress the progress line")
+    p_mc.set_defaults(func=cmd_campaign)
 
     p_plot = sub.add_parser("plot", help="render a bench CSV to SVG")
     p_plot.add_argument("csv", help="a bench CSV, or a results directory to render everything")

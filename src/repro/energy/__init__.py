@@ -3,21 +3,33 @@
 from repro.energy.capacitor import Capacitor, energy_nj
 from repro.energy.model import EnergyModel
 from repro.energy.synthetic import (RFTrace, SolarTrace, ThermalTrace,
-                                    make_trace, solar, thermal, trace1,
-                                    trace2, trace3)
+                                    make_trace, register_trace_family, solar,
+                                    thermal, trace1, trace2, trace3)
+from repro.energy.stochastic import (MC_FAMILIES, RECORDED_PREFIX,
+                                     RecordedTrace, StochasticRF,
+                                     StochasticSolar, StochasticThermal,
+                                     recorded_trace)
 from repro.energy.traces import ConstantTrace, PowerTrace, load_csv, save_csv
 
 __all__ = [
     "Capacitor",
     "ConstantTrace",
     "EnergyModel",
+    "MC_FAMILIES",
     "PowerTrace",
+    "RECORDED_PREFIX",
     "RFTrace",
+    "RecordedTrace",
     "SolarTrace",
+    "StochasticRF",
+    "StochasticSolar",
+    "StochasticThermal",
     "ThermalTrace",
     "energy_nj",
     "load_csv",
     "make_trace",
+    "recorded_trace",
+    "register_trace_family",
     "save_csv",
     "solar",
     "thermal",

@@ -186,9 +186,36 @@ TRACE_FACTORIES = {
 }
 
 
+def register_trace_family(name: str, factory, overwrite: bool = False) -> None:
+    """Register a ``factory(seed) -> PowerTrace`` under ``name``.
+
+    Registered families resolve through :func:`make_trace` exactly like
+    the five named sources, so sweep tasks and pool workers can carry
+    them as plain ``(family, seed)`` pairs. The stochastic ensemble
+    families (:mod:`repro.energy.stochastic`) register themselves here
+    at import.
+    """
+    if not overwrite and name in TRACE_FACTORIES:
+        raise KeyError(f"trace family {name!r} is already registered")
+    TRACE_FACTORIES[name] = factory
+
+
 def make_trace(name: str, seed: int | None = None) -> PowerTrace:
-    """Build one of the five named evaluation sources."""
-    if name not in TRACE_FACTORIES:
+    """Build a named source or a registered stochastic family member.
+
+    ``name`` may be one of the five named evaluation sources, a family
+    registered via :func:`register_trace_family` (e.g. the ``mc-*``
+    ensemble families), or ``csv:<path>`` for a recorded trace tiled
+    with a seeded phase rotation.
+    """
+    factory = TRACE_FACTORIES.get(name)
+    if factory is None:
+        # the stochastic families register lazily on first import; the
+        # csv: prefix resolves dynamically (the path is the identity)
+        from repro.energy import stochastic
+        if name.startswith(stochastic.RECORDED_PREFIX):
+            return stochastic.recorded_trace(name, seed)
+        factory = TRACE_FACTORIES.get(name)
+    if factory is None:
         raise KeyError(f"unknown trace {name!r}; have {sorted(TRACE_FACTORIES)}")
-    factory = TRACE_FACTORIES[name]
     return factory() if seed is None else factory(seed)

@@ -45,11 +45,17 @@ class PowerTrace:
         """Generate segments to cover ``until_ns``; no-op for fixed traces."""
 
     def _ensure(self, t_ns: int) -> None:
-        self._extend(t_ns)
+        """Extend lazy coverage through ``t_ns``.
+
+        A query strictly before the last segment's start is always
+        covered, so only queries at or past it can need generation -
+        gating on that keeps the hot sequential path a single
+        comparison. Fixed traces treat their last segment as
+        open-ended (:meth:`_extend` is a no-op); lazily generated
+        traces append segments until ``t_ns`` is covered.
+        """
         if t_ns >= self.starts[-1]:
-            # fixed trace: the last segment extends to infinity only if the
-            # subclass says so; base treats it as open-ended
-            pass
+            self._extend(t_ns)
 
     def _seek(self, t_ns: int) -> int:
         """Index of the segment containing ``t_ns``.

@@ -1,0 +1,292 @@
+"""Campaign runner: shard (workload x design x family x seed) points.
+
+A campaign point is an ordinary sweep task whose power condition is a
+stochastic family member: the task carries ``trace=family`` and
+``overrides["trace_seed"]=seed``, so every execution tier already knows
+how to run it - the serial loop, the process pool
+(:mod:`repro.sim.parallel`), and the batch record-once/replay-many
+engine (:mod:`repro.batch`), which is what makes per-seed cost cheap:
+the architectural stream depends only on the kernel, so one recording
+serves *every* seed and design in the group, and only the trace-driven
+outage/timing replay differs per point.
+
+The sweep engine keys results by ``(workload, design)``; a campaign has
+many points per pair, so this module runs the same chunk bodies and
+worker initializer but keys every result by the full
+``(workload, design, family, seed)`` :data:`PointKey`. Results are
+bit-identical across serial, parallel, and batch execution and
+independent of shard order and worker count - the campaign tests
+enforce both.
+
+Campaigns persist as JSON (:func:`save_campaign` /
+:func:`load_campaign`) holding per-point stats dicts
+(:func:`repro.analysis.stats_io.result_to_dict` shape), and partial
+campaigns merge losslessly (:func:`merge_campaigns`) - resumed or
+sharded-across-machines campaigns summarize identically to a single
+run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.batch.engine import iter_outcomes, task_batch_eligible
+from repro.errors import ConfigError, SweepError
+from repro.sim.config import SimConfig
+from repro.sim.factory import validate_design
+from repro.sim.parallel import (SweepTask, _chunked, _init_worker, _run_chunk,
+                                resolve_jobs, run_task, worker_initargs)
+from repro.sim.results import RunResult
+
+#: (workload, design, family, seed) - the identity of one campaign point.
+PointKey = tuple[str, str, str, int]
+
+#: ``progress(done, total, key)`` with the full point key.
+CampaignProgressFn = Callable[[int, int, PointKey], None]
+
+_CAMPAIGN_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The full cross product a campaign runs.
+
+    ``families`` are stochastic trace family names (``mc-*``,
+    ``csv:<path>``, or any registered family - the deterministic named
+    sources work too, they just collapse the seed axis to identical
+    conditions). ``seeds`` feed ``SimConfig.trace_seed`` per point.
+    """
+
+    workloads: tuple[str, ...]
+    designs: tuple[str, ...]
+    families: tuple[str, ...] = ("mc-rf-home", "mc-rf-office")
+    seeds: tuple[int, ...] = tuple(range(8))
+    scale: float = 1.0
+    verify: bool = True
+    config: SimConfig | None = None
+    overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for axis, values in (("workloads", self.workloads),
+                             ("designs", self.designs),
+                             ("families", self.families),
+                             ("seeds", self.seeds)):
+            if not values:
+                raise ConfigError(f"campaign {axis} must be non-empty")
+        if "trace_seed" in self.overrides:
+            raise ConfigError(
+                "campaign overrides may not set trace_seed - the seed "
+                "axis owns it")
+
+    @property
+    def n_points(self) -> int:
+        return (len(self.workloads) * len(self.designs)
+                * len(self.families) * len(self.seeds))
+
+
+def expand_campaign(spec: CampaignSpec) -> list[tuple[PointKey, SweepTask]]:
+    """Expand a spec into ``(key, task)`` pairs, workload-major.
+
+    Workload-major ordering keeps every point sharing a kernel
+    contiguous, so batch-aligned chunking never tears a record/replay
+    group across pool workers.
+    """
+    from repro.energy.synthetic import make_trace
+    from repro.workloads import get_workload
+
+    for d in spec.designs:
+        validate_design(d)
+    for fam in spec.families:
+        make_trace(fam, int(spec.seeds[0]))  # fail fast on unknown families
+    pairs: list[tuple[PointKey, SweepTask]] = []
+    for wname in spec.workloads:
+        get_workload(wname)  # fail fast on unknown names
+        for design in spec.designs:
+            for fam in spec.families:
+                for seed in spec.seeds:
+                    overrides = dict(spec.overrides)
+                    overrides["trace_seed"] = int(seed)
+                    key = (wname, design, fam, int(seed))
+                    pairs.append((key, SweepTask(
+                        wname, design, fam, spec.scale, spec.verify,
+                        spec.config, overrides)))
+    return pairs
+
+
+def _run_serial(pairs: list[tuple[PointKey, SweepTask]],
+                progress: CampaignProgressFn | None
+                ) -> dict[PointKey, RunResult]:
+    total = len(pairs)
+    by_key: dict[PointKey, RunResult] = {}
+    tasks = [task for _, task in pairs]
+    if any(task_batch_eligible(t) for t in tasks):
+        # the batch engine yields (task, outcome) unit-by-unit; key by
+        # task identity, exactly like its own chunk body does
+        keyof = {id(task): key for key, task in pairs}
+        done = 0
+        for task, outcome in iter_outcomes(tasks, run_task):
+            if outcome[0] != "ok":
+                raise outcome[1]
+            by_key[keyof[id(task)]] = outcome[1]
+            done += 1
+            if progress is not None:
+                progress(done, total, keyof[id(task)])
+    else:
+        for i, (key, task) in enumerate(pairs):
+            by_key[key] = run_task(task)
+            if progress is not None:
+                progress(i + 1, total, key)
+    return {key: by_key[key] for key, _ in pairs}
+
+
+def run_campaign_tasks(pairs: list[tuple[PointKey, SweepTask]],
+                       jobs: int | None = None,
+                       progress: CampaignProgressFn | None = None
+                       ) -> dict[PointKey, RunResult]:
+    """Run expanded campaign points; results keyed by point, task order.
+
+    Mirrors :func:`repro.sim.parallel.run_tasks` - same worker body,
+    initializer, chunking, and failure reporting - but keys by the full
+    :data:`PointKey` so seeds of one ``(workload, design)`` pair don't
+    collide.
+    """
+    jobs = resolve_jobs(jobs, fallback=1)
+    total = len(pairs)
+    if jobs <= 1 or total < 2:
+        return _run_serial(pairs, progress)
+    tasks = [task for _, task in pairs]
+    keyof = {id(task): key for key, task in pairs}
+    batching = any(task_batch_eligible(t) for t in tasks)
+    chunks = _chunked(tasks, jobs, align_batches=batching)
+    by_key: dict[PointKey, RunResult] = {}
+    failures: list[tuple] = []
+    done = 0
+    with ProcessPoolExecutor(max_workers=min(jobs, total),
+                             initializer=_init_worker,
+                             initargs=worker_initargs()) as pool:
+        futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
+        pending = set(futures)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_EXCEPTION)
+            for fut in finished:
+                chunk = futures[fut]
+                try:
+                    records = fut.result()
+                except BrokenProcessPool:
+                    for task in chunk:
+                        failures.append((keyof[id(task)], None, None,
+                                         "worker process crashed "
+                                         "(pool broken)"))
+                    continue
+                for task, rec in zip(chunk, records):
+                    key = keyof[id(task)]
+                    if rec[0] == "ok":
+                        by_key[key] = rec[1]
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, key)
+                    else:
+                        failures.append((key, rec[1], rec[2], rec[3]))
+    if failures:
+        head = failures[0]
+        detail = head[3] if head[2] is None else f"{head[1]}: {head[2]}"
+        raise SweepError(
+            f"{len(failures)} of the campaign's points failed across "
+            f"{jobs} workers; first failure at (workload={head[0][0]!r}, "
+            f"design={head[0][1]!r}, family={head[0][2]!r}, "
+            f"seed={head[0][3]}): {detail}",
+            failures=tuple(f[0] for f in failures))
+    return {key: by_key[key] for key, _ in pairs}
+
+
+def run_campaign(spec: CampaignSpec, jobs: int | None = None,
+                 progress: CampaignProgressFn | None = None
+                 ) -> dict[PointKey, RunResult]:
+    """Expand and run a campaign; returns ``{point key: RunResult}``."""
+    return run_campaign_tasks(expand_campaign(spec), jobs=jobs,
+                              progress=progress)
+
+
+# ---------------------------------------------------------------------------
+# persistence + lossless merge
+# ---------------------------------------------------------------------------
+
+
+def campaign_to_dict(points: dict[PointKey, RunResult],
+                     include_periods: bool = False) -> dict:
+    """JSON-able campaign: sorted point entries of stats dicts."""
+    from repro.analysis.stats_io import result_to_dict
+
+    entries = []
+    for key in sorted(points):
+        wname, design, family, seed = key
+        entries.append({
+            "workload": wname, "design": design, "family": family,
+            "seed": seed,
+            "result": result_to_dict(points[key], include_periods),
+        })
+    return {"format_version": _CAMPAIGN_FORMAT, "points": entries}
+
+
+def dict_to_points(data: dict) -> dict[PointKey, RunResult]:
+    """Rebuild stats-only results from a campaign dict."""
+    from repro.analysis.stats_io import result_from_dict
+
+    if data.get("format_version") != _CAMPAIGN_FORMAT:
+        raise ConfigError(
+            f"unsupported campaign format {data.get('format_version')!r}")
+    points: dict[PointKey, RunResult] = {}
+    for entry in data["points"]:
+        key = (entry["workload"], entry["design"], entry["family"],
+               int(entry["seed"]))
+        points[key] = result_from_dict(entry["result"])
+    return points
+
+
+def save_campaign(points: dict[PointKey, RunResult], path: str,
+                  include_periods: bool = False) -> str:
+    """Write campaign points as JSON; returns the path."""
+    with open(path, "w") as f:
+        json.dump(campaign_to_dict(points, include_periods), f, indent=1)
+    return path
+
+
+def load_campaign(path: str) -> dict[PointKey, RunResult]:
+    with open(path) as f:
+        return dict_to_points(json.load(f))
+
+
+def merge_campaigns(dicts: Iterable[dict]) -> dict:
+    """Losslessly merge campaign dicts (resumed/partial shards).
+
+    Points are unioned by key. A key appearing in several shards must
+    carry an identical result payload - the simulator is deterministic
+    per point, so a mismatch means the shards were produced by
+    different code or configs, and silently picking one would poison
+    the statistics; that raises :class:`~repro.errors.ConfigError`,
+    exactly like :func:`repro.obs.metrics.merge_metrics` refuses
+    incompatible histograms.
+    """
+    merged: dict[PointKey, dict] = {}
+    for data in dicts:
+        if data.get("format_version") != _CAMPAIGN_FORMAT:
+            raise ConfigError(
+                f"unsupported campaign format "
+                f"{data.get('format_version')!r}")
+        for entry in data["points"]:
+            key = (entry["workload"], entry["design"], entry["family"],
+                   int(entry["seed"]))
+            prev = merged.get(key)
+            if prev is None:
+                merged[key] = entry
+            elif prev["result"] != entry["result"]:
+                raise ConfigError(
+                    f"cannot merge campaigns: point {key} has two "
+                    f"different results (shards from different code or "
+                    f"configs?)")
+    return {"format_version": _CAMPAIGN_FORMAT,
+            "points": [merged[key] for key in sorted(merged)]}

@@ -1,0 +1,219 @@
+"""Render campaign summaries as JSON, CSV, and SVG.
+
+The CSV is the flat per-group table (one row per
+``(workload, design, family)``) the existing ``repro plot`` tooling and
+spreadsheets consume; the SVG upgrades the fig05/06-style bar
+comparison to *interval estimates*: per-design gmean speedup dots with
+bootstrap confidence whiskers, one panel column per trace family. All
+output is a pure function of the summary dict, so fixed-seed campaign
+artifacts are byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.plot import PALETTE, _nice_ticks, _Svg
+from repro.errors import ConfigError
+
+_CSV_COLUMNS = (
+    "workload", "design", "family", "n",
+    "progress_mean", "progress_ci_lo", "progress_ci_hi",
+    "progress_p95", "progress_p99",
+    "time_mean_ns", "time_p95_ns",
+    "outages_mean", "outages_p95", "outages_max",
+    "speedup_mean", "speedup_ci_lo", "speedup_ci_hi",
+)
+
+
+def _fmt(v: float) -> str:
+    return f"{v:.6g}"
+
+
+def write_summary_json(summary: dict, path: str) -> str:
+    """Write the summary dict as stable (sorted-key) JSON."""
+    with open(path, "w") as f:
+        json.dump(summary, f, indent=1, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def write_summary_csv(summary: dict, path: str) -> str:
+    """Flat per-group table; speedup cells are blank for the baseline."""
+    lines = [",".join(_CSV_COLUMNS)]
+    for g in summary["groups"]:
+        pr, t, o = g["progress_rate"], g["total_time_ns"], g["outages"]
+        sp = g.get("speedup")
+        row = [
+            g["workload"], g["design"], g["family"], str(pr["n"]),
+            _fmt(pr["mean"]), _fmt(pr["ci_lo"]), _fmt(pr["ci_hi"]),
+            _fmt(pr["p95"]), _fmt(pr["p99"]),
+            _fmt(t["mean"]), _fmt(t["p95"]),
+            _fmt(o["mean"]), _fmt(o["p95"]), _fmt(o["max"]),
+        ]
+        if sp is None:
+            row += ["", "", ""]
+        else:
+            row += [_fmt(sp["mean"]), _fmt(sp["ci_lo"]), _fmt(sp["ci_hi"])]
+        lines.append(",".join(row))
+    for a in summary["speedup_aggregate"]:
+        lines.append(",".join([
+            "gmean", a["design"], a["family"], str(a["n"]),
+            "", "", "", "", "", "", "", "", "", "",
+            _fmt(a["speedup_gmean"]), _fmt(a["ci_lo"]), _fmt(a["ci_hi"]),
+        ]))
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
+    return path
+
+
+def render_interval_svg(summary: dict, path: str,
+                        width: int = 760, height: int = 360) -> str:
+    """Gmean-speedup interval chart: dot + CI whisker per design,
+    grouped by trace family, dashed line at speedup 1.0."""
+    agg = summary["speedup_aggregate"]
+    if not agg:
+        raise ConfigError(
+            "summary has no speedup aggregate (baseline design missing "
+            "from the campaign?)")
+    families = sorted({a["family"] for a in agg})
+    designs = sorted({a["design"] for a in agg})
+    by_cell = {(a["design"], a["family"]): a for a in agg}
+
+    lo = min(min(a["ci_lo"], a["speedup_gmean"]) for a in agg)
+    hi = max(max(a["ci_hi"], a["speedup_gmean"]) for a in agg)
+    lo = min(lo, 1.0)
+    hi = max(hi, 1.0)
+    pad = 0.08 * (hi - lo) or 0.1
+    lo_t, hi_t = lo - pad, hi + pad
+
+    x0, x1 = 64, width - 16
+    y0, y1 = height - 64, 40
+
+    def ty(v: float) -> float:
+        return y0 + (v - lo_t) / (hi_t - lo_t) * (y1 - y0)
+
+    svg = _Svg(width, height)
+    svg.line(x0, y0, x1, y0)
+    svg.line(x0, y0, x0, y1)
+    for tick in _nice_ticks(lo_t, hi_t, 5):
+        y = ty(tick)
+        if y > y0 or y < y1:
+            continue
+        svg.line(x0 - 3, y, x1, y, color="#ddd", width=0.6)
+        svg.text(x0 - 6, y + 3.5, f"{tick:g}", size=10, anchor="end")
+    svg.line(x0, ty(1.0), x1, ty(1.0), color="#c00", width=0.8, dash="4,3")
+    svg.text(width / 2, 18,
+             f"gmean speedup vs {summary['baseline']} "
+             f"({summary['confidence']:.0%} bootstrap CI)", size=13)
+
+    slot = (x1 - x0) / len(families)
+    step = 0.8 * slot / max(1, len(designs))
+    for fi, family in enumerate(families):
+        gx = x0 + fi * slot + 0.1 * slot + step / 2
+        for di, design in enumerate(designs):
+            a = by_cell.get((design, family))
+            if a is None:
+                continue
+            x = gx + di * step
+            color = PALETTE[di % len(PALETTE)]
+            svg.line(x, ty(a["ci_lo"]), x, ty(a["ci_hi"]), color=color,
+                     width=1.6)
+            svg.line(x - 3, ty(a["ci_lo"]), x + 3, ty(a["ci_lo"]),
+                     color=color, width=1.2)
+            svg.line(x - 3, ty(a["ci_hi"]), x + 3, ty(a["ci_hi"]),
+                     color=color, width=1.2)
+            svg.circle(x, ty(a["speedup_gmean"]), 3.0, color)
+        svg.text(x0 + fi * slot + slot / 2, y0 + 14, family, size=10)
+
+    lx = x0
+    ly = height - 14
+    for di, design in enumerate(designs):
+        color = PALETTE[di % len(PALETTE)]
+        svg.rect(lx, ly - 8, 9, 9, color)
+        svg.text(lx + 13, ly, design, size=10, anchor="start")
+        lx += 13 + 7 * len(design) + 18
+    with open(path, "w") as f:
+        f.write(svg.render())
+    return path
+
+
+def render_survival_svg(summary: dict, path: str,
+                        width: int = 760, height: int = 360) -> str:
+    """Outage-survival step curves, one per (design, family) group,
+    pooled over workloads: S(k) = fraction of runs with >= k outages."""
+    pooled: dict[tuple[str, str], dict[float, list[float]]] = {}
+    for g in summary["groups"]:
+        cell = pooled.setdefault((g["design"], g["family"]), {})
+        for k, frac in g["outages"]["survival"]:
+            cell.setdefault(k, []).append(frac)
+    if not pooled:
+        raise ConfigError("summary has no groups")
+    max_k = max((k for cell in pooled.values() for k in cell), default=1.0)
+    max_k = max(max_k, 1.0)
+
+    x0, x1 = 64, width - 16
+    y0, y1 = height - 64, 40
+
+    def tx(k: float) -> float:
+        return x0 + k / max_k * (x1 - x0)
+
+    def ty(s: float) -> float:
+        return y0 + s * (y1 - y0)
+
+    svg = _Svg(width, height)
+    svg.line(x0, y0, x1, y0)
+    svg.line(x0, y0, x0, y1)
+    for s in (0.0, 0.25, 0.5, 0.75, 1.0):
+        svg.line(x0 - 3, ty(s), x1, ty(s), color="#ddd", width=0.6)
+        svg.text(x0 - 6, ty(s) + 3.5, f"{s:g}", size=10, anchor="end")
+    for k in _nice_ticks(0.0, max_k, 6):
+        if 0 <= k <= max_k:
+            svg.text(tx(k), y0 + 14, f"{k:g}", size=10)
+    svg.text(width / 2, 18, "outage survival S(k) = P[outages >= k]",
+             size=13)
+    svg.text(width / 2, y0 + 30, "k (outages per run)", size=11)
+
+    names = sorted(pooled)
+    for i, key in enumerate(names):
+        cell = pooled[key]
+        color = PALETTE[i % len(PALETTE)]
+        # average the per-workload curves at each threshold, carrying
+        # the previous level forward where a workload has no step
+        pts = []
+        prev = 1.0
+        for k in sorted(cell):
+            level = sum(cell[k]) / len(cell[k])
+            pts.append((tx(k), ty(prev)))
+            pts.append((tx(k), ty(level)))
+            prev = level
+        pts.append((tx(max_k), ty(prev)))
+        svg.polyline(pts, color)
+    lx = x0
+    ly = height - 14
+    for i, (design, family) in enumerate(names):
+        color = PALETTE[i % len(PALETTE)]
+        svg.rect(lx, ly - 8, 9, 9, color)
+        label = f"{design} / {family}"
+        svg.text(lx + 13, ly, label, size=10, anchor="start")
+        lx += 13 + 7 * len(label) + 18
+    with open(path, "w") as f:
+        f.write(svg.render())
+    return path
+
+
+def write_report(summary: dict, out_prefix: str,
+                 svg: bool = True) -> list[str]:
+    """Write summary.json + summary.csv (+ interval/survival SVGs when
+    a baseline is present); returns the written paths."""
+    written = [
+        write_summary_json(summary, out_prefix + "_summary.json"),
+        write_summary_csv(summary, out_prefix + "_summary.csv"),
+    ]
+    if svg:
+        if summary["speedup_aggregate"]:
+            written.append(render_interval_svg(
+                summary, out_prefix + "_speedup.svg"))
+        written.append(render_survival_svg(
+            summary, out_prefix + "_survival.svg"))
+    return written

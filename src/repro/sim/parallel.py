@@ -127,6 +127,18 @@ def _init_worker(check_env: str | None, trace_env: str | None,
             os.environ[var] = value
 
 
+def worker_initargs() -> tuple:
+    """The environment-switch values shipped to pool-worker initializers.
+
+    Shared by :func:`run_tasks` and the Monte-Carlo campaign engine
+    (:mod:`repro.mc.engine`), which runs the same worker body over its
+    own point keying.
+    """
+    return (os.environ.get(_CHECK_ENV), os.environ.get(_TRACE_ENV),
+            os.environ.get(_JIT_ENV), os.environ.get(_MEMFAST_ENV),
+            os.environ.get(_BATCH_ENV))
+
+
 def _run_chunk(chunk: list[SweepTask]) -> list[tuple]:
     """Worker entry: run a chunk, converting exceptions to records."""
     records = maybe_run_chunk_batched(chunk, run_task)
@@ -226,11 +238,7 @@ def run_tasks(tasks: list[SweepTask], jobs: int | None = None,
     done = 0
     with ProcessPoolExecutor(max_workers=min(jobs, total),
                              initializer=_init_worker,
-                             initargs=(os.environ.get(_CHECK_ENV),
-                                       os.environ.get(_TRACE_ENV),
-                                       os.environ.get(_JIT_ENV),
-                                       os.environ.get(_MEMFAST_ENV),
-                                       os.environ.get(_BATCH_ENV))) as pool:
+                             initargs=worker_initargs()) as pool:
         futures = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
         pending = set(futures)
         while pending:

@@ -1,0 +1,189 @@
+"""Campaign statistics: quantiles, bootstrap CIs, survival, golden summary.
+
+Two layers: analytic self-tests (the bootstrap interval must agree with
+the classical standard-error interval on a well-behaved sample, tails
+must order correctly), and a fixed-seed golden - the full summary JSON
+of a tiny campaign is byte-pinned, so any drift in the simulator, the
+trace ensembles, the point keying, or the statistics shows up as a
+diff, not as a silently shifted confidence interval.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mc import (CampaignSpec, bootstrap_ci, gmean, quantile,
+                      run_campaign, summarize_campaign, survival_curve)
+from repro.mc.stats import mean, progress_rate
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "goldens",
+                      "mc_campaign_summary.json")
+
+GOLDEN_SPEC = CampaignSpec(
+    workloads=("sha",),
+    designs=("WL-Cache", "NVSRAM(ideal)"),
+    families=("mc-rf-home",),
+    seeds=(0, 1, 2),
+    scale=0.1,
+)
+
+
+class TestQuantile:
+    def test_known_values(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(xs, 0.0) == 1.0
+        assert quantile(xs, 1.0) == 4.0
+        assert quantile(xs, 0.5) == 2.5
+        assert quantile(xs, 0.25) == 1.75
+
+    def test_order_invariant(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_single_value(self):
+        assert quantile([7.0], 0.99) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            quantile([], 0.5)
+        with pytest.raises(ConfigError):
+            quantile([1.0], 1.5)
+
+
+class TestGmean:
+    def test_known(self):
+        assert gmean([2.0, 8.0]) == pytest.approx(4.0)
+        assert gmean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            gmean([1.0, 0.0])
+        with pytest.raises(ConfigError):
+            gmean([])
+
+
+class TestSurvival:
+    def test_curve_shape(self):
+        curve = survival_curve([0, 0, 1, 2, 2, 5])
+        assert curve[0] == [0.0, 1.0]          # S(0) is always 1
+        assert [2.0, 0.5] in curve             # 3 of 6 runs had >= 2
+        assert curve[-1] == [5.0, 1.0 / 6.0]
+        ks = [k for k, _ in curve]
+        ss = [s for _, s in curve]
+        assert ks == sorted(ks)
+        assert ss == sorted(ss, reverse=True)  # monotone non-increasing
+
+    def test_all_zero(self):
+        assert survival_curve([0, 0, 0]) == [[0.0, 1.0]]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            survival_curve([])
+
+
+class TestBootstrap:
+    def test_deterministic_per_seed(self):
+        xs = [float(i) for i in range(40)]
+        assert bootstrap_ci(xs, seed=3) == bootstrap_ci(xs, seed=3)
+        assert bootstrap_ci(xs, seed=3) != bootstrap_ci(xs, seed=4)
+
+    def test_degenerate_inputs(self):
+        assert bootstrap_ci([5.0]) == (5.0, 5.0)
+        lo, hi = bootstrap_ci([2.0] * 10)
+        assert lo == hi == 2.0
+
+    def test_matches_analytic_interval(self):
+        """On a smooth sample the percentile bootstrap must agree with
+        the classical normal-theory CI: same center, width within 25%.
+        This is the self-test that the resampling machinery estimates a
+        *standard error*, not an arbitrary spread."""
+        # deterministic near-uniform sample on [0, 1)
+        xs = [(i + 0.5) / 200 for i in range(200)]
+        mu = mean(xs)
+        sd = math.sqrt(sum((x - mu) ** 2 for x in xs) / (len(xs) - 1))
+        se = sd / math.sqrt(len(xs))
+        lo, hi = bootstrap_ci(xs, confidence=0.95, n_boot=2000, seed=1)
+        assert lo < mu < hi
+        assert (lo + hi) / 2 == pytest.approx(mu, abs=0.5 * se)
+        width = hi - lo
+        analytic = 2 * 1.959964 * se
+        assert width == pytest.approx(analytic, rel=0.25)
+
+    def test_confidence_ordering(self):
+        xs = [float(i % 17) for i in range(60)]
+        lo99, hi99 = bootstrap_ci(xs, confidence=0.99, n_boot=1500, seed=2)
+        lo80, hi80 = bootstrap_ci(xs, confidence=0.80, n_boot=1500, seed=2)
+        assert lo99 <= lo80 and hi80 <= hi99
+
+    def test_custom_statistic(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        lo, hi = bootstrap_ci(xs, n_boot=500, seed=5, statistic=gmean)
+        assert min(xs) <= lo <= hi <= max(xs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigError):
+            bootstrap_ci([1.0, 2.0], confidence=1.0)
+
+
+class TestSummarize:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_campaign(GOLDEN_SPEC, jobs=1)
+
+    def test_structure(self, points):
+        s = summarize_campaign(points, n_boot=200)
+        assert s["n_points"] == 6
+        assert s["workloads"] == ["sha"]
+        assert s["designs"] == ["NVSRAM(ideal)", "WL-Cache"]
+        assert len(s["groups"]) == 2
+        for g in s["groups"]:
+            pr = g["progress_rate"]
+            assert pr["n"] == 3
+            assert pr["ci_lo"] <= pr["mean"] <= pr["ci_hi"]
+            assert pr["min"] <= pr["p50"] <= pr["p95"] <= pr["p99"] \
+                <= pr["max"]
+            assert g["outages"]["survival"][0] == [0.0, 1.0]
+        wl = next(g for g in s["groups"] if g["design"] == "WL-Cache")
+        assert "speedup" in wl                  # baseline present
+        base = next(g for g in s["groups"]
+                    if g["design"] == "NVSRAM(ideal)")
+        assert "speedup" not in base            # never vs itself
+        assert s["speedup_aggregate"][0]["design"] == "WL-Cache"
+
+    def test_progress_rate_definition(self, points):
+        key = next(iter(points))
+        res = points[key]
+        assert progress_rate(res) == pytest.approx(
+            res.instructions / res.total_time_ns * 1e3)
+
+    def test_boot_seed_changes_only_intervals(self, points):
+        a = summarize_campaign(points, n_boot=200, boot_seed=1)
+        b = summarize_campaign(points, n_boot=200, boot_seed=2)
+        ga, gb = a["groups"][0], b["groups"][0]
+        assert ga["progress_rate"]["mean"] == gb["progress_rate"]["mean"]
+        assert ga["progress_rate"]["p95"] == gb["progress_rate"]["p95"]
+        assert (ga["progress_rate"]["ci_lo"], ga["progress_rate"]["ci_hi"]) \
+            != (gb["progress_rate"]["ci_lo"], gb["progress_rate"]["ci_hi"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize_campaign({})
+
+    def test_golden_summary_exact(self, points, update_goldens):
+        """The end-to-end statistical pipeline is byte-pinned: a fixed
+        seed campaign's summary JSON must match the golden exactly.
+        Regenerate with ``pytest --update-goldens`` after intentional
+        changes."""
+        summary = summarize_campaign(points, n_boot=300, boot_seed=2023)
+        text = json.dumps(summary, indent=1, sort_keys=True) + "\n"
+        if update_goldens:
+            os.makedirs(os.path.dirname(GOLDEN), exist_ok=True)
+            with open(GOLDEN, "w") as f:
+                f.write(text)
+            pytest.skip("golden rewritten")
+        with open(GOLDEN) as f:
+            assert text == f.read()

@@ -208,6 +208,78 @@ class TestGenerated:
         assert mean(solar()) > mean(trace1()) > mean(trace3())
 
 
+class TestLazyExtension:
+    """The ``_ensure`` gate: fixed traces treat their last segment as
+    open-ended (``_extend`` is a no-op), generated traces append segments
+    on demand - and neither may depend on the order queries arrive in."""
+
+    def test_fixed_trace_last_segment_open_ended(self):
+        tr = PowerTrace([0, 100, 200], [0.1, 0.0, 0.2], "seg")
+        # queries at and far past the last start hit the no-op _extend
+        assert tr.power_w(200) == 0.2
+        assert tr.power_w(10**12) == 0.2
+        assert len(tr.starts) == 3  # nothing was appended
+        # open-ended integration: [200, 200+N) bills at 0.2 W forever
+        assert tr.energy_nj(200, 200 + 10**6) == pytest.approx(0.2 * 10**6)
+
+    def test_queries_before_last_start_skip_extension(self):
+        tr = trace2(seed=3)
+        tr.power_w(10**7)
+        n = len(tr.starts)
+        # strictly-inside queries are covered: no growth
+        tr.power_w(tr.starts[-1] - 1)
+        tr.energy_nj(0, tr.starts[-1] - 1)
+        assert len(tr.starts) == n
+        # a query at the last start stays within its segment (which runs
+        # to the coverage end); a query *at* the coverage end must grow
+        tr.power_w(tr.starts[-1])
+        assert tr.starts[-1] < tr._coverage_end_ns()
+        tr.power_w(tr._coverage_end_ns())
+        assert len(tr.starts) > n
+
+    def test_incremental_equals_one_shot_over_hours(self):
+        """Growing a multi-hour trace in many small steps yields the
+        same segment list as one far query - extension boundaries leave
+        no seams."""
+        hour_ns = 3_600 * 10**9
+        inc = make_trace("mc-rf-long", 9)
+        one = make_trace("mc-rf-long", 9)
+        t = 0
+        while t < 2 * hour_ns:
+            inc.power_w(t)
+            t += 97 * 10**9  # ~1.6-minute strides, misaligned on purpose
+        one.power_w(t - 97 * 10**9)
+        assert inc.starts == one.starts
+        assert inc.powers == one.powers
+
+    def test_harvest_across_extension_boundary_mid_outage(self):
+        """time_to_harvest launched from inside a dropout must keep
+        extending coverage until power returns, even when the outage
+        spans several _extend batches."""
+        for seed in range(12):
+            tr = make_trace("mc-rf-long", seed)
+            tr.power_w(10**9)
+            # find a blackout window within the first simulated seconds
+            start = next((s for s, p in zip(tr.starts, tr.powers)
+                          if p == 0.0 and s > 0), None)
+            if start is None:
+                continue
+            twin = make_trace("mc-rf-long", seed)
+            t = twin.time_to_harvest(start, 50.0, horizon_ns=10**13)
+            assert t > start
+            assert twin.energy_nj(start, t) >= 50.0 - 1e-6
+            # the lazily-driven twin agrees with the pre-extended trace
+            # over their shared coverage (either may have generated one
+            # look-ahead segment more than the other)
+            tr.power_w(t)
+            n = min(len(twin.starts), len(tr.starts))
+            assert n > 2
+            assert twin.starts[:n] == tr.starts[:n]
+            assert twin.powers[:n] == tr.powers[:n]
+            return
+        raise AssertionError("no dropout found in 12 seeds")
+
+
 class TestCsv:
     def test_roundtrip(self, tmp_path):
         tr = PowerTrace([0, 50, 75], [0.1, 0.2, 0.05], "x")
