@@ -43,6 +43,14 @@ HEADLINES = {
     "BENCH_4": ("gmean_speedup", "jit vs interpreter"),
     "BENCH_5": ("gmean_speedup_vs_jit", "memfast vs jit"),
     "BENCH_6": ("gmean_sweep_speedup", "batch sweep vs jit+memfast"),
+    "BENCH_9": ("gmean_sweep_speedup", "lockstep columns vs batch replay"),
+}
+
+#: bench stem -> env var that, when set, makes a missing fresh report a
+#: hard error (exit 2) instead of a skip: a gated bench that silently
+#: produced no report must not pass CI
+REQUIRED_UNDER = {
+    "BENCH_9": "REPRO_LOCKSTEP_GATE",
 }
 
 DEFAULT_TOL = 0.6
@@ -97,11 +105,19 @@ def main() -> int:
     trajectory = {}
     failures = []
     checked = 0
+    missing_required = []
     for stem, base in sorted(baselines.items()):
         cur_path = os.path.join(args.current_dir, f"{stem}.json")
         key, desc = HEADLINES[stem]
         if not os.path.exists(cur_path):
-            print(f"{stem}: no fresh report at {cur_path}, skipping")
+            gate_env = REQUIRED_UNDER.get(stem)
+            if gate_env and os.environ.get(gate_env, "").strip() \
+                    not in ("", "0"):
+                print(f"{stem}: no fresh report at {cur_path} but "
+                      f"{gate_env} is set - the gated bench never ran")
+                missing_required.append(stem)
+            else:
+                print(f"{stem}: no fresh report at {cur_path}, skipping")
             continue
         _, cur = headline(cur_path)
         checked += 1
@@ -127,6 +143,10 @@ def main() -> int:
             f.write("\n")
         print(f"wrote {args.out}")
 
+    if missing_required:
+        print(f"FAIL: {', '.join(missing_required)} gated but missing "
+              f"(exit 2)")
+        return 2
     if checked == 0:
         print("FAIL: no baseline/current bench pairs found - the gate "
               "checked nothing")

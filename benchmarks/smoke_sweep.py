@@ -1,6 +1,7 @@
 """CI smoke sweep: a small grid run serial, parallel, under the JIT,
-under the JIT with the memfast hit-path tier, AND under the batch
-record/replay tier - all five asserted bit-identical.
+under the JIT with the memfast hit-path tier, under the batch
+record/replay tier, AND under the lockstep column tier - all six
+asserted bit-identical.
 
 Exercises the full stack end to end in about a minute: workload build,
 every major cache design, a real power trace with outages, the crash
@@ -67,9 +68,23 @@ def main() -> int:
         bad = [k for k in serial if serial[k] != batched[k]]
         print(f"FAIL: batched sweep diverged from the interpreter on {bad}")
         return 1
+
+    t0 = time.perf_counter()
+    lockstep = run_grid(APPS, DESIGNS, TRACE, jobs=1, jit=True,
+                        memfast=True, batch=True, lockstep=True)
+    t_lockstep = time.perf_counter() - t0
+    if serial != lockstep:
+        bad = [k for k in serial if serial[k] != lockstep[k]]
+        print(f"FAIL: lockstep sweep diverged from the interpreter on {bad}")
+        return 1
+    from repro.lockstep.scheduler import lockstep_stats
+    if lockstep_stats()["columns"] == 0:
+        print("FAIL: lockstep tier never engaged in the smoke sweep")
+        return 1
     print(f"serial {t_serial:.2f}s / parallel {t_parallel:.2f}s / "
           f"jit {t_jit:.2f}s / jit+memfast {t_fast:.2f}s / "
-          f"batch {t_batch:.2f}s - {len(serial)} runs bit-identical")
+          f"batch {t_batch:.2f}s / lockstep {t_lockstep:.2f}s - "
+          f"{len(serial)} runs bit-identical")
 
     with open(out_csv, "w", newline="") as f:
         w = csv.writer(f)

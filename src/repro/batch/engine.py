@@ -30,7 +30,9 @@ like the other tier switches).
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 import traceback
 from collections.abc import Callable, Iterator
 from dataclasses import replace
@@ -42,6 +44,7 @@ from repro.cpu.core import program_content_key
 from repro.cpu.costs import CycleCosts
 from repro.isa.program import Program
 from repro.lint.invariants import invariants_enabled
+from repro.lockstep import lockstep_enabled
 from repro.mem.nvm import NVMainMemory
 from repro.memfast import attach_memfast, finish_memfast
 from repro.obs.recorder import trace_enabled
@@ -53,6 +56,13 @@ from repro.workloads import build_workload, verify_checks
 #: ``REPRO_BATCH=1`` enables batched sweep execution for every grid in
 #: this process (pool workers re-export it, like REPRO_JIT).
 ENV_VAR = "REPRO_BATCH"
+
+#: ``REPRO_STREAM_CACHE=<dir>`` shares recordings across *processes*:
+#: campaign shards (and ``repro campaign --from-json`` merge runs) dump
+#: each raw recording into the directory once and load instead of
+#: re-recording. Writes are atomic (tmp + rename), loads tolerate any
+#: corruption by falling back to recording.
+CACHE_DIR_ENV = "REPRO_STREAM_CACHE"
 
 #: program content key -> raw recording ``(codes, n_total, cycles,
 #: rec_costs, final_regs, ops)``. The architectural stream is *cost-
@@ -71,7 +81,8 @@ _RECORDING_CACHE_CAP = 4
 _STREAM_CACHE: dict[tuple, GuestStream] = {}
 _STREAM_CACHE_CAP = 8
 _STREAM_STATS = {"recordings": 0, "expansions": 0, "hits": 0, "bails": 0,
-                 "replays": 0, "solo": 0}
+                 "replays": 0, "solo": 0, "lockstep": 0, "disk_hits": 0,
+                 "disk_writes": 0}
 
 
 def batch_enabled() -> bool:
@@ -117,6 +128,18 @@ def task_batchable(config: SimConfig) -> bool:
     if config.check_invariants or invariants_enabled():
         return False
     return True
+
+
+def task_lockstep_eligible(task) -> bool:
+    """Batch-eligible *and* opted into lockstep columns (per config or
+    ``REPRO_LOCKSTEP``). Lockstep rides on the batch tier, so it
+    inherits every batch eligibility rule unchanged."""
+    try:
+        config = resolve_config(task)
+    except Exception:
+        return False
+    return task_batchable(config) and (config.lockstep
+                                       or lockstep_enabled())
 
 
 def effective_costs(design: str, config: SimConfig) -> CycleCosts:
@@ -174,12 +197,59 @@ def plan(tasks) -> list[tuple]:
     return units
 
 
+def _stream_cache_dir() -> str | None:
+    d = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return d or None
+
+
+def _disk_path(cache_dir: str, ckey: tuple) -> str:
+    digest = hashlib.sha256(repr(ckey).encode()).hexdigest()[:32]
+    return os.path.join(cache_dir, f"rec-{digest}.pkl")
+
+
+def _disk_load(ckey: tuple) -> tuple | None:
+    """A previously shared recording, or None (not cached / unreadable -
+    a bad file is never an error, just a re-record)."""
+    cache_dir = _stream_cache_dir()
+    if cache_dir is None:
+        return None
+    try:
+        with open(_disk_path(cache_dir, ckey), "rb") as fh:
+            recording = pickle.load(fh)
+    except Exception:
+        return None
+    if not (isinstance(recording, tuple) and len(recording) == 6):
+        return None
+    _STREAM_STATS["disk_hits"] += 1
+    return recording
+
+
+def _disk_store(ckey: tuple, recording: tuple) -> None:
+    cache_dir = _stream_cache_dir()
+    if cache_dir is None:
+        return
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+        path = _disk_path(cache_dir, ckey)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(recording, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic: concurrent shards never clash
+        _STREAM_STATS["disk_writes"] += 1
+    except OSError:
+        return
+
+
 def get_stream(program: Program, costs: CycleCosts,
                budget: int) -> GuestStream:
     """The kernel's guest stream, recording it on first demand.
 
     Raises :class:`RecordingBail` when the kernel cannot be recorded;
-    bails are not cached (a larger budget may succeed later).
+    bails are not cached (a larger budget may succeed later). With
+    ``REPRO_STREAM_CACHE`` set, recordings round-trip through the
+    shared directory so campaign shards record each kernel once
+    fleet-wide (a completed recording is budget-independent - the
+    budget only caps runaway kernels, which bail and are never stored).
     """
     ckey = program_content_key(program)
     key = (ckey, costs)
@@ -189,13 +259,16 @@ def get_stream(program: Program, costs: CycleCosts,
         return stream
     recording = _RECORDING_CACHE.get(ckey)
     if recording is None:
-        codes, n, cycles, final_regs, ops = record_run(program, costs,
-                                                       budget)
-        recording = (codes, n, cycles, costs, final_regs, ops)
+        recording = _disk_load(ckey)
+        if recording is None:
+            codes, n, cycles, final_regs, ops = record_run(
+                program, costs, budget)
+            recording = (codes, n, cycles, costs, final_regs, ops)
+            _STREAM_STATS["recordings"] += 1
+            _disk_store(ckey, recording)
         if len(_RECORDING_CACHE) >= _RECORDING_CACHE_CAP:
             _RECORDING_CACHE.pop(next(iter(_RECORDING_CACHE)))
         _RECORDING_CACHE[ckey] = recording
-        _STREAM_STATS["recordings"] += 1
     stream = build_stream(program, costs, recording)
     if len(_STREAM_CACHE) >= _STREAM_CACHE_CAP:
         _STREAM_CACHE.pop(next(iter(_STREAM_CACHE)))
@@ -258,15 +331,74 @@ def iter_outcomes(tasks, run_slow: Callable) -> Iterator[tuple]:
     Outcomes are yielded unit-by-unit in first-appearance order, which
     interleaves groups sharing a workload; callers needing task order
     re-index by task.
+
+    When any task opts into lockstep, adjacent group units sharing a
+    ``(workload, scale)`` - the cost families of one design sweep, which
+    share a :class:`~repro.batch.stream.StreamSkeleton` - are coalesced
+    into one *cluster* and their lockstep-eligible tasks advance
+    together as a column (:mod:`repro.lockstep.scheduler`); everything
+    else keeps the per-instance replay path unchanged.
     """
-    for kind, unit in plan(tasks):
+    units = plan(tasks)
+    if not any(task_lockstep_eligible(t) for t in tasks):
+        for kind, unit in units:
+            if kind == "solo":
+                _STREAM_STATS["solo"] += 1
+                yield unit, _outcome(run_slow, unit)
+                continue
+            group = unit
+            try:
+                program = build_workload(group.workload, group.scale)
+                stream = get_stream(program, group.costs, group.budget)
+            except RecordingBail:
+                _STREAM_STATS["bails"] += 1
+                for task in group.tasks:
+                    yield task, _outcome(run_slow, task)
+                continue
+            except Exception as exc:
+                tb = traceback.format_exc()
+                for task in group.tasks:
+                    yield task, ("err", exc, tb)
+                continue
+            for task, config in zip(group.tasks, group.configs):
+                yield task, _outcome(_replay_task, program, task, config,
+                                     stream)
+        return
+    i = 0
+    while i < len(units):
+        kind, unit = units[i]
         if kind == "solo":
             _STREAM_STATS["solo"] += 1
             yield unit, _outcome(run_slow, unit)
+            i += 1
             continue
-        group = unit
+        cluster = [unit]
+        j = i + 1
+        while (j < len(units) and units[j][0] == "group"
+               and units[j][1].workload == unit.workload
+               and units[j][1].scale == unit.scale):
+            cluster.append(units[j][1])
+            j += 1
+        i = j
+        yield from _run_cluster(cluster, run_slow)
+
+
+def _run_cluster(groups: list, run_slow: Callable) -> Iterator[tuple]:
+    """Run one ``(workload, scale)`` cluster: lockstep tasks as one
+    column over the shared skeleton, the rest per instance."""
+    from repro.lockstep.scheduler import run_column
+
+    try:
+        program = build_workload(groups[0].workload, groups[0].scale)
+    except Exception as exc:
+        tb = traceback.format_exc()
+        for group in groups:
+            for task in group.tasks:
+                yield task, ("err", exc, tb)
+        return
+    column: list[tuple] = []
+    for group in groups:
         try:
-            program = build_workload(group.workload, group.scale)
             stream = get_stream(program, group.costs, group.budget)
         except RecordingBail:
             _STREAM_STATS["bails"] += 1
@@ -279,8 +411,34 @@ def iter_outcomes(tasks, run_slow: Callable) -> Iterator[tuple]:
                 yield task, ("err", exc, tb)
             continue
         for task, config in zip(group.tasks, group.configs):
-            yield task, _outcome(_replay_task, program, task, config,
-                                 stream)
+            # column instances must share the event list; a family whose
+            # skeleton was evicted mid-cluster replays per instance
+            if ((config.lockstep or lockstep_enabled())
+                    and (not column
+                         or stream.skel is column[0][2].skel)):
+                column.append((task, config, stream))
+            else:
+                yield task, _outcome(_replay_task, program, task, config,
+                                     stream)
+    if not column:
+        return
+    try:
+        results = run_column(program, column)
+    except Exception as exc:
+        tb = traceback.format_exc()
+        for task, _config, _stream in column:
+            yield task, ("err", exc, tb)
+        return
+    for task, outcome in results:
+        if outcome[0] == "ok" and task.verify:
+            try:
+                verify_checks(program, outcome[1].final_memory)
+            except Exception as exc:
+                outcome = ("err", exc, traceback.format_exc())
+        if outcome[0] == "ok":
+            _STREAM_STATS["replays"] += 1
+            _STREAM_STATS["lockstep"] += 1
+        yield task, outcome
 
 
 def maybe_run_batched(tasks, run_slow: Callable,
@@ -348,6 +506,20 @@ def batch_stats() -> dict:
             "raw_recordings": len(_RECORDING_CACHE), **_STREAM_STATS}
 
 
+def absorb_stats(delta: dict) -> None:
+    """Fold a worker's per-chunk counter deltas into this process.
+
+    Pool workers ship a trailing ``("stats", delta)`` record with each
+    chunk (:func:`repro.sim.parallel._run_chunk`); the sweep parent
+    absorbs them here so :func:`batch_stats` reflects the whole sweep -
+    recordings, cache hits, disk hits - not just the parent's share.
+    Cache-size gauges (``streams``/``raw_recordings``) describe the
+    worker's caches, not events, and are skipped."""
+    for key, value in delta.items():
+        if key in _STREAM_STATS and value:
+            _STREAM_STATS[key] += value
+
+
 def clear_streams() -> None:
     """Drop cached recordings/streams and reset counters (tests)."""
     _STREAM_CACHE.clear()
@@ -359,7 +531,9 @@ def clear_streams() -> None:
 
 
 __all__ = [
+    "CACHE_DIR_ENV",
     "ENV_VAR",
+    "absorb_stats",
     "batch_enabled",
     "batch_stats",
     "build_replay_system",
@@ -373,5 +547,6 @@ __all__ = [
     "resolve_config",
     "task_batch_eligible",
     "task_batchable",
+    "task_lockstep_eligible",
     "warm_stream",
 ]

@@ -79,6 +79,15 @@ class ReplayCore:
         self._offset = 0  # external-cycle absorber (see module doc)
         self._cycle_seen = 0  # the cycle the last chunk left behind
         self._pending_fetch = False
+        # residency-set provenance, maintained for the lockstep tier:
+        # ic_lines always equals {lines of line events in
+        # [_flush_ei, _ei)} plus _synth_line (when >= 0), because the
+        # set only grows between flushes and every addition comes from
+        # a walked line event or the single post-flush synthesized
+        # fetch. The lockstep column keeps only these two scalars and
+        # reconstructs the set on eviction.
+        self._flush_ei = 0
+        self._synth_line = -1
         self._c_imiss = costs.ifetch_miss
         # bound lazily on the first chunk, after memfast (if eligible)
         # has installed its handlers on the memory system
@@ -121,6 +130,8 @@ class ReplayCore:
         self.ic_lines.clear()
         self.ic_last = -1
         self._pending_fetch = True
+        self._flush_ei = self._ei
+        self._synth_line = -1
 
     # ------------------------------------------------------------------
     def run_chunk(self, max_instrs: int) -> tuple[int, int]:
@@ -172,6 +183,7 @@ class ReplayCore:
                 # The line comes from the restored pc - the stream has no
                 # event here precisely because the line did not change.
                 line = self.pc >> _ILINE_SHIFT
+                self._synth_line = line
                 fetches += 1
                 if line not in ic_lines:
                     ic_lines.add(line)

@@ -72,7 +72,8 @@ class StreamSkeleton:
     """The cost-independent expansion of one recording."""
 
     __slots__ = ("n_total", "events", "n_events", "cum_branches",
-                 "blk_g", "blk_pc", "final_regs")
+                 "blk_g", "blk_pc", "final_regs", "ev_counts",
+                 "ev_prev")
 
     def __init__(self, n_total: int, events: list, cum_branches: array,
                  blk_g: array, blk_pc: array, final_regs: list[int]):
@@ -83,6 +84,19 @@ class StreamSkeleton:
         self.blk_g = blk_g
         self.blk_pc = blk_pc
         self.final_regs = final_regs
+        #: lazy per-event-kind prefix counts ``(fetches, loads, stores)``
+        #: (arrays of length ``n_events + 1``), filled by the lockstep
+        #: tier so a chunk's fetch/load/store counters become two lookups
+        #: instead of a per-event increment (see
+        #: :func:`repro.lockstep.state.event_counts`).
+        self.ev_counts: tuple | None = None
+        #: lazy previous-occurrence index per event (``-1`` for first
+        #: occurrences and non-fetch events), filled by
+        #: :func:`repro.lockstep.state.event_prev`: a line is resident
+        #: for an instance iff its previous occurrence is at or past
+        #: that instance's last I-cache flush, which turns the per-
+        #: instance residency-set lookups into one shared comparison.
+        self.ev_prev = None
 
 
 class GuestStream:
@@ -94,10 +108,12 @@ class GuestStream:
     """
 
     __slots__ = ("n_total", "cum_cycles", "cum_branches", "events",
-                 "final_regs", "n_events", "blk_g", "blk_pc", "c_mem")
+                 "final_regs", "n_events", "blk_g", "blk_pc", "c_mem",
+                 "skel")
 
     def __init__(self, skel: StreamSkeleton, cum_cycles: array,
                  c_mem: int):
+        self.skel = skel
         self.n_total = skel.n_total
         self.cum_cycles = cum_cycles
         self.cum_branches = skel.cum_branches

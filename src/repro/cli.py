@@ -80,6 +80,10 @@ def _add_sim_args(p: argparse.ArgumentParser) -> None:
                    help="batch sweep points sharing a kernel: record the "
                         "execution once, replay it per design "
                         "(bit-identical results; sweeps only)")
+    p.add_argument("--lockstep", action="store_true",
+                   help="advance same-shaped batch replays in lockstep "
+                        "through one compiled column kernel (implies "
+                        "--batch; bit-identical results)")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the crash-consistency check")
     p.add_argument("--stats-json", default=None, metavar="PATH",
@@ -106,6 +110,9 @@ def _overrides(args) -> dict:
         out["memfast"] = True
     if getattr(args, "batch", False):
         out["batch"] = True
+    if getattr(args, "lockstep", False):
+        out["lockstep"] = True
+        out["batch"] = True  # lockstep columns live inside batch groups
     return out
 
 
@@ -196,13 +203,34 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _cache_stats_line(stats: dict) -> str | None:
+    """Human-readable record/replay cache summary, or None when idle."""
+    recs = stats.get("recordings", 0)
+    hits = stats.get("hits", 0) + stats.get("disk_hits", 0)
+    if not recs and not hits:
+        return None
+    parts = [f"recordings={recs}", f"hits={hits}"]
+    if stats.get("disk_hits") or stats.get("disk_writes"):
+        parts.append(f"disk_hits={stats.get('disk_hits', 0)}")
+        parts.append(f"disk_writes={stats.get('disk_writes', 0)}")
+    for key in ("replays", "lockstep", "solo"):
+        if stats.get(key):
+            parts.append(f"{key}={stats[key]}")
+    return "stream cache: " + " ".join(parts)
+
+
 def cmd_campaign(args) -> int:
     import os
 
+    from repro.batch.engine import CACHE_DIR_ENV, batch_stats
     from repro.mc import (CampaignSpec, merge_campaigns, run_campaign,
                           save_campaign, summarize_campaign, write_report)
     from repro.mc.engine import dict_to_points
 
+    if args.stream_cache:
+        os.makedirs(args.stream_cache, exist_ok=True)
+        os.environ[CACHE_DIR_ENV] = args.stream_cache
+    cache_stats: dict | None = None
     if args.from_json:
         import json as _json
 
@@ -210,14 +238,22 @@ def cmd_campaign(args) -> int:
         for path in args.from_json:
             with open(path) as f:
                 dicts.append(_json.load(f))
-        points = dict_to_points(merge_campaigns(dicts))
+        merged = merge_campaigns(dicts)
+        points = dict_to_points(merged)
+        cache_stats = merged.get("cache_stats")
         print(f"loaded {len(points)} points from "
               f"{len(args.from_json)} campaign file(s)")
+        if cache_stats:
+            line = _cache_stats_line(cache_stats)
+            if line:
+                print(f"{line} (summed over shards)")
     else:
         overrides = {}
-        for flag in ("jit", "memfast", "batch"):
+        for flag in ("jit", "memfast", "batch", "lockstep"):
             if getattr(args, flag):
                 overrides[flag] = True
+        if overrides.get("lockstep"):
+            overrides["batch"] = True
         spec = CampaignSpec(
             workloads=tuple(args.apps or ALL_WORKLOADS),
             designs=tuple(args.designs),
@@ -239,12 +275,19 @@ def cmd_campaign(args) -> int:
         points = run_campaign(spec, jobs=args.jobs, progress=progress)
         if progress is not None:
             print()
+        cache_stats = {k: v for k, v in batch_stats().items()
+                       if k not in ("streams", "raw_recordings")}
+        line = _cache_stats_line(cache_stats)
+        if line:
+            print(line)
     for target in (args.points_json, args.out):
         out_dir = os.path.dirname(target) if target else ""
         if out_dir:
             os.makedirs(out_dir, exist_ok=True)
     if args.points_json:
-        print(f"points written to {save_campaign(points, args.points_json)}")
+        path = save_campaign(points, args.points_json,
+                             cache_stats=cache_stats)
+        print(f"points written to {path}")
     summary = summarize_campaign(points, confidence=args.confidence,
                                  n_boot=args.n_boot,
                                  boot_seed=args.boot_seed)
@@ -514,6 +557,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--batch", action="store_true",
                       help="batch points sharing a kernel: record once, "
                            "replay per (design, family, seed)")
+    p_mc.add_argument("--lockstep", action="store_true",
+                      help="advance same-shaped replays in lockstep "
+                           "through one compiled column kernel "
+                           "(implies --batch)")
+    p_mc.add_argument("--stream-cache", default=None, metavar="DIR",
+                      help="shared on-disk guest-stream recording cache; "
+                           "point campaign shards (--seed-offset runs on "
+                           "several machines or invocations) at the same "
+                           "directory so each kernel records only once")
     p_mc.add_argument("--no-verify", action="store_true",
                       help="skip per-point crash-consistency checks")
     p_mc.add_argument("--out", default="results/campaign", metavar="PREFIX",

@@ -1,10 +1,11 @@
 """Static auditor for the generated Python of the jit/memfast/batch tiers.
 
-Three subsystems in this codebase *generate* Python source and ``exec``
+Four subsystems in this codebase *generate* Python source and ``exec``
 it: the basic-block/trace JIT (:mod:`repro.jit.blocks`), the
-memory-hierarchy fast path (:mod:`repro.memfast.handlers`), and the
+memory-hierarchy fast path (:mod:`repro.memfast.handlers`), the
 batch tier's record mode (a JIT variant) plus its hand-written stream
-walker (:mod:`repro.batch.replay`). Their correctness contracts are
+walker (:mod:`repro.batch.replay`), and the lockstep tier's column
+engine (:mod:`repro.lockstep.codegen`). Their correctness contracts are
 exercised dynamically by differential tests, but dynamic tests only
 sample: a side exit that forgets to flush one ``st`` slot is invisible
 until a power trace happens to interrupt that exact block. This module
@@ -58,15 +59,31 @@ The contracts (registered as ``A0xx`` in :mod:`repro.lint.findings`):
   imports only stdlib-pure ``bisect`` and ``repro.*``. This is the one
   hand-written (not generated) piece of the batch fast path, and its
   bit-exactness argument hangs on that formula.
+* **A008 lockstep-engine-protocol** - a generated column engine
+  (:mod:`repro.lockstep.codegen`) is a single generator
+  ``_make_engine``; every episode it appends is a well-formed tuple
+  whose tag the scheduler knows (``halt``/``outage``/``err``/``fault``
+  /``bail``, with the right arity); the column cursor cell is
+  published (``cell[0]``/``cell[2]`` assigned) and *every* instance's
+  mutable-mirror slice is written back before the yield. The scheduler
+  dispatches episodes positionally and resumes instances from their
+  slot lists, so a missing writeback silently forks an instance's
+  state from its solo-replay twin. Engines are also held to A005 (the
+  retained source must match a fresh render of the same column
+  signature) and A006 (free names resolve only to the engine's exec
+  namespace: the error types and the few helpers ``make_engine``
+  binds).
 
 Drivers: :func:`audit_compiled` (one
 :class:`~repro.jit.cache.CompiledProgram`, including any suffix/trace
 modules it has materialized), :func:`audit_memfast_design` (one live
 memory system's installed handlers), :func:`audit_replay_module` (the
-batch walker), and :func:`audit_suite` (the CLI's ``repro audit``: runs
-every requested kernel on every requested design with jit+memfast on,
-then audits everything those runs compiled, plus each kernel's record
-modules).
+batch walker), :func:`audit_lockstep_engines` (every retained column-
+engine source), and :func:`audit_suite` (the CLI's ``repro audit``:
+runs every requested kernel on every requested design with jit+memfast
+on, then audits everything those runs compiled, plus each kernel's
+record modules, plus the column engines a small lockstep sweep
+materializes).
 """
 
 from __future__ import annotations
@@ -87,6 +104,20 @@ _NOW_FORMULA = "cum[i] - c_mem + dyn + offset"
 
 #: module imports the replay walker may use (A007)
 _REPLAY_IMPORT_OK = ("__future__", "bisect", "repro")
+
+#: names a lockstep engine may resolve beyond its locals: the exec
+#: namespace :func:`repro.lockstep.codegen.make_engine` binds, plus the
+#: builtins the rendered source uses. Pinned here on purpose - a new
+#: bind in codegen must be reviewed against this list, not silently
+#: allowed.
+_ENGINE_BINDS = frozenset({"EnergyError", "ExecutionError", "_ILS",
+                           "_INF", "_DQE", "_bis",
+                           "Exception", "int", "min"})
+
+#: episode tag -> required tuple arity (the scheduler's dispatch
+#: contract; see repro.lockstep.scheduler._handle)
+_EPISODE_ARITY = {"halt": 2, "outage": 2, "err": 3, "fault": 3,
+                  "bail": 1}
 
 
 # ---------------------------------------------------------------------------
@@ -331,7 +362,9 @@ def _declared_lengths(bind: ast.FunctionDef) -> dict[str, int]:
 # A006: ambient-state / free-variable purity
 # ---------------------------------------------------------------------------
 
-def _scope_findings(tree: ast.Module, loc: str) -> list[Finding]:
+def _scope_findings(tree: ast.Module, loc: str,
+                    extra: frozenset = frozenset()) -> list[Finding]:
+    allowed = _ALLOWED_BUILTINS | extra
     findings: list[Finding] = []
     for node in ast.walk(tree):
         if isinstance(node, (ast.Import, ast.ImportFrom)):
@@ -365,6 +398,8 @@ def _scope_findings(tree: ast.Module, loc: str) -> list[Finding]:
         for stmt in shallow_nodes(fn):
             if isinstance(stmt, ast.FunctionDef):
                 names.add(stmt.name)
+            elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+                names.add(stmt.name)
             elif isinstance(stmt, (ast.Assign, ast.AugAssign, ast.For)):
                 targets = (stmt.targets if isinstance(stmt, ast.Assign)
                            else [stmt.target])
@@ -380,7 +415,7 @@ def _scope_findings(tree: ast.Module, loc: str) -> list[Finding]:
             for n in ast.walk(d):
                 if (isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
                         and n.id not in env
-                        and n.id not in _ALLOWED_BUILTINS):
+                        and n.id not in allowed):
                     findings.append(make_finding(
                         "A006", f"{loc} line {n.lineno}",
                         f"default for {fn.name} references unbound "
@@ -393,7 +428,7 @@ def _scope_findings(tree: ast.Module, loc: str) -> list[Finding]:
             elif (isinstance(node, ast.Name)
                     and isinstance(node.ctx, ast.Load)
                     and node.id not in inner_env
-                    and node.id not in _ALLOWED_BUILTINS):
+                    and node.id not in allowed):
                 findings.append(make_finding(
                     "A006", f"{loc} line {node.lineno}",
                     f"{fn.name} reaches outside its bindings for "
@@ -641,6 +676,114 @@ def audit_replay_module() -> list[Finding]:
     return findings
 
 
+def audit_lockstep_engine(sig: tuple, source: str,
+                          unit: str) -> list[Finding]:
+    """A005/A006/A008 over one generated column engine's source."""
+    from repro.lockstep.codegen import render_engine_source
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:  # pragma: no cover - compile() ran first
+        return [make_finding("A006", unit,
+                             f"engine source does not parse: {exc}")]
+    findings: list[Finding] = []
+
+    # A008: single generator _make_engine
+    defs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if [d.name for d in defs] != ["_make_engine"]:
+        findings.append(make_finding(
+            "A008", unit,
+            f"engine module defines {[d.name for d in defs]} (expected "
+            f"exactly one _make_engine)"))
+        return findings
+    engine = defs[0]
+    if not any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in ast.walk(engine)):
+        findings.append(make_finding(
+            "A008", unit, "_make_engine is not a generator"))
+
+    # A008: every episode append is a well-formed, known tuple
+    cell_slots: set[int] = set()
+    written_back: set[int] = set()
+    for node in ast.walk(engine):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "_ep"):
+            arg = node.args[0] if node.args else None
+            tag = (arg.elts[0].value
+                   if isinstance(arg, ast.Tuple) and arg.elts
+                   and isinstance(arg.elts[0], ast.Constant) else None)
+            want = _EPISODE_ARITY.get(tag)
+            if want is None:
+                got = ast.unparse(arg) if arg is not None else "<none>"
+                findings.append(make_finding(
+                    "A008", f"{unit} line {node.lineno}",
+                    f"episode {got} has a tag the scheduler does not "
+                    f"dispatch"))
+            elif len(arg.elts) != want:
+                findings.append(make_finding(
+                    "A008", f"{unit} line {node.lineno}",
+                    f"episode {tag!r} has arity {len(arg.elts)} "
+                    f"(scheduler unpacks {want})"))
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if (isinstance(tgt, ast.Subscript)
+                        and isinstance(tgt.value, ast.Name)):
+                    base = tgt.value.id
+                    if (base == "cell"
+                            and isinstance(tgt.slice, ast.Constant)):
+                        cell_slots.add(tgt.slice.value)
+                    elif (base.startswith("_s") and base[2:].isdigit()
+                            and isinstance(tgt.slice, ast.Slice)):
+                        written_back.add(int(base[2:]))
+
+    # A008: cursor publication and per-instance mirror writeback
+    for slot, what in ((0, "event index"), (2, "stream cursor")):
+        if slot not in cell_slots:
+            findings.append(make_finding(
+                "A008", unit,
+                f"engine never publishes cell[{slot}] (the column "
+                f"{what}); eviction would resume solos at a stale "
+                f"position"))
+    missing = sorted(set(range(len(sig))) - written_back)
+    if missing:
+        findings.append(make_finding(
+            "A008", unit,
+            f"instances {missing} get no mutable-mirror slice "
+            f"writeback before the yield (their slot lists would go "
+            f"stale on eviction/halt)"))
+
+    # A006 with the engine's exec-namespace allowlist
+    findings.extend(_scope_findings(tree, unit, extra=_ENGINE_BINDS))
+
+    # A005: the retained source matches a fresh render of the signature
+    if source != render_engine_source(sig):
+        findings.append(make_finding(
+            "A005", unit,
+            "retained engine source diverges from a fresh render of "
+            "the same column signature - a baked constant escapes the "
+            "signature"))
+    return findings
+
+
+def audit_lockstep_engines() -> list[Finding]:
+    """Audit every column-engine source the lockstep tier has retained
+    (run a lockstep sweep first to materialize them)."""
+    from repro.lockstep.codegen import engine_sources
+
+    findings: list[Finding] = []
+    for i, (sig, src) in enumerate(sorted(engine_sources().items())):
+        counts: dict[str, int] = {}
+        for el in sig:
+            counts[el[0]] = counts.get(el[0], 0) + 1
+        modes = "+".join(f"{m}x{c}" for m, c in sorted(counts.items()))
+        unit = f"lockstep:engine#{i}[{len(sig)} inst: {modes}]"
+        findings.extend(audit_lockstep_engine(sig, src, unit))
+    return findings
+
+
 # ---------------------------------------------------------------------------
 # suite driver (the repro audit CLI)
 # ---------------------------------------------------------------------------
@@ -649,12 +792,15 @@ def audit_suite(apps=None, designs=None,
                 scale: float = 1.0) -> dict[str, list[Finding]]:
     """Run the requested kernel x design grid with jit+memfast on, then
     statically audit every module those runs compiled (blocks, suffixes,
-    traces, memfast handlers) plus each kernel's batch record modules
-    and the replay walker. Returns ``{unit: findings}``."""
+    traces, memfast handlers) plus each kernel's batch record modules,
+    the replay walker, and the column engines a small lockstep sweep
+    (first kernel, every requested design, traced and untraced)
+    materializes. Returns ``{unit: findings}``."""
     from repro.batch.record import recording_costs
     from repro.jit.cache import get_compiled
     from repro.sim.config import DESIGNS, SimConfig
     from repro.sim.factory import build_system
+    from repro.sim.sweep import run_grid
     from repro.workloads import ALL_WORKLOADS, build_workload
 
     apps = list(apps) if apps else list(ALL_WORKLOADS)
@@ -679,4 +825,12 @@ def audit_suite(apps=None, designs=None,
                         get_compiled(program, rcosts, record=True)))
             findings.extend(audit_memfast_design(system.design))
         results[app] = findings
+
+    # materialize column engines for every requested design shape, in
+    # both traced and untraced epilogue variants, then audit them
+    for trace in (None, "trace1"):
+        run_grid(apps[:1], designs, trace, jobs=1, scale=scale,
+                 verify=False, jit=True, memfast=True, batch=True,
+                 lockstep=True)
+    results["lockstep:engines"] = audit_lockstep_engines()
     return results

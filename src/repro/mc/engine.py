@@ -38,8 +38,9 @@ from repro.batch.engine import iter_outcomes, task_batch_eligible
 from repro.errors import ConfigError, SweepError
 from repro.sim.config import SimConfig
 from repro.sim.factory import validate_design
-from repro.sim.parallel import (SweepTask, _chunked, _init_worker, _run_chunk,
-                                resolve_jobs, run_task, worker_initargs)
+from repro.sim.parallel import (SweepTask, _chunked, _init_worker,
+                                _pop_stats, _run_chunk, resolve_jobs,
+                                run_task, worker_initargs)
 from repro.sim.results import RunResult
 
 #: (workload, design, family, seed) - the identity of one campaign point.
@@ -182,6 +183,7 @@ def run_campaign_tasks(pairs: list[tuple[PointKey, SweepTask]],
                                          "worker process crashed "
                                          "(pool broken)"))
                     continue
+                records = _pop_stats(records)
                 for task, rec in zip(chunk, records):
                     key = keyof[id(task)]
                     if rec[0] == "ok":
@@ -217,8 +219,15 @@ def run_campaign(spec: CampaignSpec, jobs: int | None = None,
 
 
 def campaign_to_dict(points: dict[PointKey, RunResult],
-                     include_periods: bool = False) -> dict:
-    """JSON-able campaign: sorted point entries of stats dicts."""
+                     include_periods: bool = False,
+                     cache_stats: dict | None = None) -> dict:
+    """JSON-able campaign: sorted point entries of stats dicts.
+
+    ``cache_stats`` optionally embeds the shard's record/replay cache
+    counters (:func:`repro.batch.engine.batch_stats` event keys), so a
+    merge of shard files can report how many guest-stream recordings
+    the whole campaign actually paid for versus served from cache.
+    """
     from repro.analysis.stats_io import result_to_dict
 
     entries = []
@@ -229,7 +238,11 @@ def campaign_to_dict(points: dict[PointKey, RunResult],
             "seed": seed,
             "result": result_to_dict(points[key], include_periods),
         })
-    return {"format_version": _CAMPAIGN_FORMAT, "points": entries}
+    out = {"format_version": _CAMPAIGN_FORMAT, "points": entries}
+    if cache_stats:
+        out["cache_stats"] = {k: int(v) for k, v in
+                              sorted(cache_stats.items()) if v}
+    return out
 
 
 def dict_to_points(data: dict) -> dict[PointKey, RunResult]:
@@ -248,10 +261,12 @@ def dict_to_points(data: dict) -> dict[PointKey, RunResult]:
 
 
 def save_campaign(points: dict[PointKey, RunResult], path: str,
-                  include_periods: bool = False) -> str:
+                  include_periods: bool = False,
+                  cache_stats: dict | None = None) -> str:
     """Write campaign points as JSON; returns the path."""
     with open(path, "w") as f:
-        json.dump(campaign_to_dict(points, include_periods), f, indent=1)
+        json.dump(campaign_to_dict(points, include_periods, cache_stats),
+                  f, indent=1)
     return path
 
 
@@ -272,6 +287,7 @@ def merge_campaigns(dicts: Iterable[dict]) -> dict:
     incompatible histograms.
     """
     merged: dict[PointKey, dict] = {}
+    cache_stats: dict[str, int] = {}
     for data in dicts:
         if data.get("format_version") != _CAMPAIGN_FORMAT:
             raise ConfigError(
@@ -288,5 +304,11 @@ def merge_campaigns(dicts: Iterable[dict]) -> dict:
                     f"cannot merge campaigns: point {key} has two "
                     f"different results (shards from different code or "
                     f"configs?)")
-    return {"format_version": _CAMPAIGN_FORMAT,
-            "points": [merged[key] for key in sorted(merged)]}
+        for k, v in data.get("cache_stats", {}).items():
+            cache_stats[k] = cache_stats.get(k, 0) + int(v)
+    out = {"format_version": _CAMPAIGN_FORMAT,
+           "points": [merged[key] for key in sorted(merged)]}
+    if cache_stats:
+        # shard counters sum: events, not gauges, so addition is exact
+        out["cache_stats"] = dict(sorted(cache_stats.items()))
+    return out

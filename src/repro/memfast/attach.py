@@ -80,7 +80,8 @@ def memfast_enabled() -> bool:
 class MemfastState:
     """Per-design fast-path bookkeeping, parked on ``_memfast_state``."""
 
-    __slots__ = ("design", "acc", "installed", "fast_store", "store_shape")
+    __slots__ = ("design", "acc", "installed", "fast_store", "store_shape",
+                 "slow_load", "slow_sm")
 
     def __init__(self, design):
         self.design = design
@@ -95,6 +96,12 @@ class MemfastState:
         #: "wl" / "wb" when the store hit path is fast, else None; keys
         #: the JIT's compiled-module variant (which store hit it inlines)
         self.store_shape: str | None = None
+        #: the bracketed slow paths the fast handlers bail to - kept
+        #: addressable so the lockstep engine (which inlines the *full*
+        #: probe, set scan included) can call them without paying the
+        #: handler's redundant re-probe
+        self.slow_load = None
+        self.slow_sm = None
         self.resync()
 
     # -- accumulator sync ----------------------------------------------
@@ -182,6 +189,8 @@ def attach_design(m) -> MemfastState | None:
     flush, resync = state.flush, state.resync
     slow_load = _bracket(cls.load.__get__(m, cls), flush, resync)
     slow_sm = _bracket(cls.store_masked.__get__(m, cls), flush, resync)
+    state.slow_load = slow_load
+    state.slow_sm = slow_sm
 
     _install(m, state, "load", build_load(m, state.acc, slow_load))
     if (cls.store_masked is WLCache.store_masked

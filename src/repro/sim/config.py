@@ -158,6 +158,18 @@ class SimConfig:
     #: jit/memfast tiers per instance when a kernel cannot be recorded.
     #: ``REPRO_BATCH=1`` in the environment enables it too.
     batch: bool = False
+    #: Lockstep multi-instance replay (:mod:`repro.lockstep`): sweep
+    #: points sharing a recording advance *together* through one
+    #: generated walker that issues each instance's memory calls with
+    #: its own cost bindings, instead of once per point through a
+    #: private ``ReplayCore`` loop. Requires (and implies nothing
+    #: beyond) batch eligibility; a point that diverges from the column
+    #: - guest fault, or an explicit :class:`~repro.lockstep.scheduler.
+    #: LockstepBail` - is evicted to the per-instance replay path at an
+    #: exact event index and may rejoin at a later chunk boundary.
+    #: Bit-identical to serial on every ``RunResult`` field.
+    #: ``REPRO_LOCKSTEP=1`` in the environment enables it too.
+    lockstep: bool = False
     chunk_instrs: int = 32
     max_instructions: int = 60_000_000
     max_outages: int = 100_000

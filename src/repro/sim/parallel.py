@@ -28,12 +28,15 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from repro.batch.engine import (ENV_VAR as _BATCH_ENV, maybe_run_batched,
+from repro.batch.engine import (CACHE_DIR_ENV as _STREAM_CACHE_ENV,
+                                ENV_VAR as _BATCH_ENV, absorb_stats,
+                                batch_stats, maybe_run_batched,
                                 maybe_run_chunk_batched,
                                 task_batch_eligible)
 from repro.errors import ConfigError, SweepError
 from repro.jit import ENV_VAR as _JIT_ENV
 from repro.lint.invariants import ENV_VAR as _CHECK_ENV
+from repro.lockstep import ENV_VAR as _LOCKSTEP_ENV
 from repro.memfast import ENV_VAR as _MEMFAST_ENV
 from repro.obs.recorder import ENV_VAR as _TRACE_ENV
 from repro.sim.config import SimConfig
@@ -106,21 +109,28 @@ def run_task(task: SweepTask) -> RunResult:
 def _init_worker(check_env: str | None, trace_env: str | None,
                  jit_env: str | None = None,
                  memfast_env: str | None = None,
-                 batch_env: str | None = None) -> None:
+                 batch_env: str | None = None,
+                 lockstep_env: str | None = None,
+                 stream_cache_env: str | None = None) -> None:
     """Worker initializer: re-export the instrumentation switches.
 
     Pools spawned with a non-fork start method begin from a fresh
     interpreter whose environment may not mirror the parent's, so the
     invariant-checking (REPRO_CHECK), tracing (REPRO_TRACE), JIT
-    (REPRO_JIT), fast-path (REPRO_MEMFAST), and batch (REPRO_BATCH)
-    switches are shipped explicitly - a checked/traced/JITted/batched
-    parallel sweep must apply them in every worker, not just the parent.
-    The worker's process-global JIT code cache and guest-stream cache
-    then warm once and serve all the tasks the worker executes.
+    (REPRO_JIT), fast-path (REPRO_MEMFAST), batch (REPRO_BATCH), and
+    lockstep (REPRO_LOCKSTEP) switches are shipped explicitly - a
+    checked/traced/JITted/batched parallel sweep must apply them in
+    every worker, not just the parent. The shared on-disk recording
+    cache (REPRO_STREAM_CACHE) rides along so campaign shards record
+    each kernel once across *processes*. The worker's process-global
+    JIT code cache and guest-stream cache then warm once and serve all
+    the tasks the worker executes.
     """
     for var, value in ((_CHECK_ENV, check_env), (_TRACE_ENV, trace_env),
                        (_JIT_ENV, jit_env), (_MEMFAST_ENV, memfast_env),
-                       (_BATCH_ENV, batch_env)):
+                       (_BATCH_ENV, batch_env),
+                       (_LOCKSTEP_ENV, lockstep_env),
+                       (_STREAM_CACHE_ENV, stream_cache_env)):
         if value is None:
             os.environ.pop(var, None)
         else:
@@ -136,22 +146,41 @@ def worker_initargs() -> tuple:
     """
     return (os.environ.get(_CHECK_ENV), os.environ.get(_TRACE_ENV),
             os.environ.get(_JIT_ENV), os.environ.get(_MEMFAST_ENV),
-            os.environ.get(_BATCH_ENV))
+            os.environ.get(_BATCH_ENV), os.environ.get(_LOCKSTEP_ENV),
+            os.environ.get(_STREAM_CACHE_ENV))
 
 
 def _run_chunk(chunk: list[SweepTask]) -> list[tuple]:
-    """Worker entry: run a chunk, converting exceptions to records."""
+    """Worker entry: run a chunk, converting exceptions to records.
+
+    The chunk's records are followed by one trailing ``("stats",
+    delta)`` record carrying this chunk's batch-engine counter deltas
+    (recordings, cache hits, disk hits); the parent folds them back
+    with :func:`repro.batch.engine.absorb_stats` so sweep-wide cache
+    behaviour stays observable under the pool."""
+    pre = batch_stats()
     records = maybe_run_chunk_batched(chunk, run_task)
-    if records is not None:
-        return records
-    out: list[tuple] = []
-    for task in chunk:
-        try:
-            out.append(("ok", run_task(task)))
-        except Exception as exc:  # shipped home, re-raised as SweepError
-            out.append(("err", type(exc).__name__, str(exc),
-                        traceback.format_exc()))
-    return out
+    if records is None:
+        records = []
+        for task in chunk:
+            try:
+                records.append(("ok", run_task(task)))
+            except Exception as exc:  # shipped home, raised as SweepError
+                records.append(("err", type(exc).__name__, str(exc),
+                                traceback.format_exc()))
+    post = batch_stats()
+    records.append(("stats", {k: post[k] - pre.get(k, 0)
+                              for k in post if k not in
+                              ("streams", "raw_recordings")}))
+    return records
+
+
+def _pop_stats(records: list[tuple]) -> list[tuple]:
+    """Absorb and strip a chunk's trailing stats record, if present."""
+    if records and records[-1][0] == "stats":
+        absorb_stats(records[-1][1])
+        return records[:-1]
+    return records
 
 
 def make_tasks(workloads: Iterable[str],
@@ -254,6 +283,7 @@ def run_tasks(tasks: list[SweepTask], jobs: int | None = None,
                                          "worker process crashed "
                                          "(pool broken)"))
                     continue
+                records = _pop_stats(records)
                 for task, rec in zip(chunk, records):
                     if rec[0] == "ok":
                         by_task[task.key] = rec[1]

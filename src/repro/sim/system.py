@@ -119,6 +119,194 @@ class System:
                 f"capacitor (usable {self._e_max - self._e_floor:.0f} nJ)")
 
     # ------------------------------------------------------------------
+    # run-loop lifecycle blocks, shared with the lockstep scheduler
+    # (repro.lockstep.scheduler drives the same System objects chunk by
+    # chunk, so every cold block below must be the single source of
+    # truth for its arithmetic)
+    # ------------------------------------------------------------------
+    def _begin(self, res: RunResult) -> int:
+        """Initial charge-to-Von, first boot, watchdog start; returns
+        the wall-clock time the first chunk starts at."""
+        cfg = self.config
+        trace = self.trace
+        cap = self.capacitor
+        t = 0  # wall-clock ns
+        if trace is not None:
+            # the system starts discharged: harvest up to Von before the
+            # first boot (dominant for oversized capacitors, Fig. 10b)
+            cap.set_voltage(cfg.v_min)
+            t = trace.charge_until(0, cap.energy, self._e_on,
+                                   drain_w=cfg.off_leakage_w)
+            cap.set_voltage(self.v_on)
+            res.off_time_ns += t
+        self.design.on_boot(first=True)
+        if trace is not None:
+            self.watchdog.start(t)
+        return t
+
+    def _halt_finalize(self, t: int) -> int:
+        """Design finalization after the guest HALTs; returns new t."""
+        fin_cycles = self.design.finalize(self.core.cycle)
+        self.core.cycle += fin_cycles
+        return t + fin_cycles
+
+    def _outage_reboot(self, res: RunResult, bd: EnergyBreakdown, t: int,
+                       period: PeriodStats, no_progress: int) -> tuple:
+        """One power-failure lifecycle: JIT checkpoint, off-period
+        recharge, reboot, restore, adaptation.
+
+        Called exactly when ``cap.energy <= _e_backup_level`` under a
+        trace. Returns ``(t, period, no_progress, last_cache,
+        last_nvm)`` - the caller must rebase its cache/nvm energy
+        baselines on the returned values (flush energy flowed through
+        the accumulators during the checkpoint) and re-read
+        ``design.stats`` (the design may swap its stats object).
+        """
+        cfg = self.config
+        core = self.core
+        design = self.design
+        nvm = design.nvm
+        trace = self.trace
+        cap = self.capacitor
+        # ----- power failure imminent: JIT checkpoint (§3.2) -----
+        on_time = self.watchdog.stop(t)
+        self._close_period(res, period, on_time)
+        no_progress = (no_progress + 1) if period.instrs == 0 else 0
+        if no_progress > _NO_PROGRESS_LIMIT:
+            raise EnergyError(
+                f"{design.name} on {res.trace}: no forward progress "
+                f"over {_NO_PROGRESS_LIMIT} power-on periods")
+        # The chunked voltage check may overshoot the threshold by
+        # up to a chunk's worth of energy; the real monitor fires
+        # exactly at Vbackup, so normalize to that level and carry
+        # the overshoot as a debt against the next on-period
+        # (energy-conserving re-attribution).
+        debt = max(0.0, self._e_backup_level - cap.energy)
+        cap.harvest(debt)
+        nvm_before = nvm.energy_read_nj + nvm.energy_write_nj
+        report = design.flush_for_checkpoint(core.cycle)
+        nvm_delta = (nvm.energy_read_nj + nvm.energy_write_nj
+                     - nvm_before)
+        ckpt_energy = (nvm_delta + report.extra_energy_nj
+                       + self._reg_ckpt_nj)
+        if ckpt_energy > self.reserve_nj + 1e-6:
+            raise EnergyError(
+                f"{design.name}: checkpoint used {ckpt_energy:.0f} nJ, "
+                f"exceeding the reserve ({self.reserve_nj:.0f} nJ) - "
+                f"crash-consistency guarantee violated")
+        cap.consume(ckpt_energy)
+        self.nvff.checkpoint(core.arch_regs, core.pc,
+                             getattr(design, "maxline", 0),
+                             getattr(design, "waterline", 0),
+                             self.watchdog.intervals)
+        t += report.cycles
+        res.outages += 1
+        res.checkpoint_lines_total += report.lines_flushed
+        bd.checkpoint_nj += self._reg_ckpt_nj
+        # mem/cache flush energy flows through the accumulators:
+        # re-baseline so the next chunk does not double-consume it
+        stats = design.stats
+        last_cache = (stats.cache_read_energy_nj
+                      + stats.cache_write_energy_nj)
+        last_nvm = nvm.energy_read_nj + nvm.energy_write_nj
+        design.on_power_loss()
+        core.flush_icache()
+        if res.outages > cfg.max_outages:
+            raise EnergyError(
+                f"{design.name}: exceeded {cfg.max_outages} outages")
+        # ----- power-off: recharge to this design's Von, leaking
+        # off_leakage_w from whatever charge is left -----
+        if cfg.deep_discharge:
+            # reserved-but-unspent charge is lost to self-discharge
+            bd.discarded_nj += max(0.0, cap.energy - self._e_floor)
+            cap.set_voltage(cfg.v_min)
+        t_on = trace.charge_until(
+            t, cap.energy, self._e_on,
+            drain_w=cfg.off_leakage_w, e_floor_nj=0.0)
+        res.off_time_ns += t_on - t
+        t = t_on
+        cap.harvest(max(0.0, self._e_on - cap.energy))
+        # ----- reboot & restore -----
+        regs, pc = self.nvff.restore()
+        core.restore_arch_state((regs, pc))
+        cap.consume(self._reg_restore_nj)
+        bd.checkpoint_nj += self._reg_restore_nj
+        core.cycle += self._reg_restore_cycles
+        t += self._reg_restore_cycles
+        if debt > 0.0:
+            # repay the pre-checkpoint overshoot out of this boot's
+            # window (bounded so a boot always makes progress)
+            cap.consume(min(debt, (self._e_on - self._e_backup_level)
+                            * 0.5))
+        restore_cycles = design.on_boot(first=False)
+        core.cycle += restore_cycles
+        t += restore_cycles
+        if self.controller is not None:
+            new_maxline = self.controller.decide(
+                self.watchdog.last_two, self.design.maxline)
+            if (new_maxline != self.design.maxline
+                    and self._fits(new_maxline)):
+                self.design.set_thresholds(new_maxline)
+            self.update_reserve()
+        # restore energy (e.g. NVSRAM line copies) flows through the
+        # cache accumulator on the next chunk; keep baselines as-is
+        self.watchdog.start(t)
+        period = self._new_period()
+        return (t, period, no_progress, last_cache, last_nvm)
+
+    def _finish(self, res: RunResult, bd: EnergyBreakdown, t: int,
+                period: PeriodStats, compute_total: float,
+                cache_leak_total: float) -> RunResult:
+        """Close the last period and assemble the RunResult."""
+        core = self.core
+        design = self.design
+        nvm = design.nvm
+        if self.trace is not None:
+            on_time = self.watchdog.stop(t)
+            self._close_period(res, period, on_time)
+
+        res.halted = core.halted
+        res.total_time_ns = t
+        res.on_time_ns = t - res.off_time_ns
+        res.exec_cycles = core.cycle
+        res.instructions = core.instret
+        stats = design.stats
+        res.nvm_reads = nvm.reads
+        res.nvm_writes = nvm.writes
+        res.read_hits = stats.read_hits
+        res.read_misses = stats.read_misses
+        res.write_hits = stats.write_hits
+        res.write_misses = stats.write_misses
+        res.store_stall_cycles = stats.store_stall_cycles
+        res.async_writebacks = stats.async_writebacks
+        res.dirty_evictions = stats.dirty_evictions
+        # cache-array leakage belongs to the cache component (Fig. 13b);
+        # split it evenly between the read and write ports
+        bd.cache_read_nj = stats.cache_read_energy_nj + cache_leak_total / 2
+        bd.cache_write_nj = stats.cache_write_energy_nj + cache_leak_total / 2
+        bd.mem_read_nj = nvm.energy_read_nj
+        bd.mem_write_nj = nvm.energy_write_nj
+        bd.compute_nj = compute_total
+        res.energy = bd
+        if self.controller is not None:
+            res.reconfig_count = self.controller.reconfig_count
+            res.maxline_min, res.maxline_max = self.controller.min_max_seen
+            res.prediction_accuracy = self.controller.prediction_accuracy
+        elif isinstance(design, WLCache):
+            res.maxline_min = res.maxline_max = design.maxline
+        if isinstance(design, WLCache) and design.dynamic_policy is not None:
+            res.dyn_raises = design.dynamic_policy.raises
+        checker = getattr(design, "_invariant_checker", None)
+        if checker is not None:
+            res.invariant_checks = checker.checks
+        recorder = getattr(self, "_trace_recorder", None)
+        if recorder is not None:
+            recorder.finish(self, res)
+        res.final_regs = core.arch_regs
+        res.final_memory = nvm.words
+        return res
+
+    # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Simulate to completion and return the result."""
         cfg = self.config
@@ -130,7 +318,6 @@ class System:
         em = cfg.energy
         core_leak_w = em.core_leakage_w
         design_leak_w = design.leakage_w()
-        leak_w = core_leak_w + design_leak_w
 
         res = RunResult(program=self.program.name, design=design.name,
                         trace=trace.name if trace else "no-failure")
@@ -145,18 +332,7 @@ class System:
         compute_total = 0.0
         cache_leak_total = 0.0
 
-        t = 0  # wall-clock ns
-        if trace is not None:
-            # the system starts discharged: harvest up to Von before the
-            # first boot (dominant for oversized capacitors, Fig. 10b)
-            cap.set_voltage(cfg.v_min)
-            t = trace.charge_until(0, cap.energy, self._e_on,
-                                   drain_w=cfg.off_leakage_w)
-            cap.set_voltage(self.v_on)
-            res.off_time_ns += t
-        design.on_boot(first=True)
-        if trace is not None:
-            self.watchdog.start(t)
+        t = self._begin(res)
         period = self._new_period()
         no_progress = 0
 
@@ -215,142 +391,17 @@ class System:
             t += dcycles
 
             if core.halted:
-                fin_cycles = design.finalize(core.cycle)
-                core.cycle += fin_cycles
-                t += fin_cycles
+                t = self._halt_finalize(t)
                 break
 
             if trace is not None and cap.energy <= self._e_backup_level:
-                # ----- power failure imminent: JIT checkpoint (§3.2) -----
-                on_time = self.watchdog.stop(t)
-                self._close_period(res, period, on_time)
-                no_progress = (no_progress + 1) if period.instrs == 0 else 0
-                if no_progress > _NO_PROGRESS_LIMIT:
-                    raise EnergyError(
-                        f"{design.name} on {res.trace}: no forward progress "
-                        f"over {_NO_PROGRESS_LIMIT} power-on periods")
-                # The chunked voltage check may overshoot the threshold by
-                # up to a chunk's worth of energy; the real monitor fires
-                # exactly at Vbackup, so normalize to that level and carry
-                # the overshoot as a debt against the next on-period
-                # (energy-conserving re-attribution).
-                debt = max(0.0, self._e_backup_level - cap.energy)
-                cap.harvest(debt)
-                nvm_before = nvm.energy_read_nj + nvm.energy_write_nj
-                report = design.flush_for_checkpoint(core.cycle)
-                nvm_delta = (nvm.energy_read_nj + nvm.energy_write_nj
-                             - nvm_before)
-                ckpt_energy = (nvm_delta + report.extra_energy_nj
-                               + self._reg_ckpt_nj)
-                if ckpt_energy > self.reserve_nj + 1e-6:
-                    raise EnergyError(
-                        f"{design.name}: checkpoint used {ckpt_energy:.0f} nJ, "
-                        f"exceeding the reserve ({self.reserve_nj:.0f} nJ) - "
-                        f"crash-consistency guarantee violated")
-                cap.consume(ckpt_energy)
-                self.nvff.checkpoint(core.arch_regs, core.pc,
-                                     getattr(design, "maxline", 0),
-                                     getattr(design, "waterline", 0),
-                                     self.watchdog.intervals)
-                t += report.cycles
-                res.outages += 1
-                res.checkpoint_lines_total += report.lines_flushed
-                bd.checkpoint_nj += self._reg_ckpt_nj
-                # mem/cache flush energy flows through the accumulators:
-                # re-baseline so the next chunk does not double-consume it
+                (t, period, no_progress, last_cache,
+                 last_nvm) = self._outage_reboot(res, bd, t, period,
+                                                 no_progress)
                 stats = design.stats
-                last_cache = (stats.cache_read_energy_nj
-                              + stats.cache_write_energy_nj)
-                last_nvm = nvm.energy_read_nj + nvm.energy_write_nj
-                design.on_power_loss()
-                core.flush_icache()
-                if res.outages > cfg.max_outages:
-                    raise EnergyError(
-                        f"{design.name}: exceeded {cfg.max_outages} outages")
-                # ----- power-off: recharge to this design's Von, leaking
-                # off_leakage_w from whatever charge is left -----
-                if cfg.deep_discharge:
-                    # reserved-but-unspent charge is lost to self-discharge
-                    bd.discarded_nj += max(0.0, cap.energy - self._e_floor)
-                    cap.set_voltage(cfg.v_min)
-                t_on = trace.charge_until(
-                    t, cap.energy, self._e_on,
-                    drain_w=cfg.off_leakage_w, e_floor_nj=0.0)
-                res.off_time_ns += t_on - t
-                t = t_on
-                cap.harvest(max(0.0, self._e_on - cap.energy))
-                # ----- reboot & restore -----
-                regs, pc = self.nvff.restore()
-                core.restore_arch_state((regs, pc))
-                cap.consume(self._reg_restore_nj)
-                bd.checkpoint_nj += self._reg_restore_nj
-                core.cycle += self._reg_restore_cycles
-                t += self._reg_restore_cycles
-                if debt > 0.0:
-                    # repay the pre-checkpoint overshoot out of this boot's
-                    # window (bounded so a boot always makes progress)
-                    cap.consume(min(debt, (self._e_on - self._e_backup_level)
-                                    * 0.5))
-                restore_cycles = design.on_boot(first=False)
-                core.cycle += restore_cycles
-                t += restore_cycles
-                if self.controller is not None:
-                    new_maxline = self.controller.decide(
-                        self.watchdog.last_two, self.design.maxline)
-                    if (new_maxline != self.design.maxline
-                            and self._fits(new_maxline)):
-                        self.design.set_thresholds(new_maxline)
-                    self.update_reserve()
-                # restore energy (e.g. NVSRAM line copies) flows through the
-                # cache accumulator on the next chunk; keep baselines as-is
-                self.watchdog.start(t)
-                period = self._new_period()
 
-        # ------------------------------------------------------------------
-        if trace is not None:
-            on_time = self.watchdog.stop(t)
-            self._close_period(res, period, on_time)
-
-        res.halted = core.halted
-        res.total_time_ns = t
-        res.on_time_ns = t - res.off_time_ns
-        res.exec_cycles = core.cycle
-        res.instructions = core.instret
-        stats = design.stats
-        res.nvm_reads = nvm.reads
-        res.nvm_writes = nvm.writes
-        res.read_hits = stats.read_hits
-        res.read_misses = stats.read_misses
-        res.write_hits = stats.write_hits
-        res.write_misses = stats.write_misses
-        res.store_stall_cycles = stats.store_stall_cycles
-        res.async_writebacks = stats.async_writebacks
-        res.dirty_evictions = stats.dirty_evictions
-        # cache-array leakage belongs to the cache component (Fig. 13b);
-        # split it evenly between the read and write ports
-        bd.cache_read_nj = stats.cache_read_energy_nj + cache_leak_total / 2
-        bd.cache_write_nj = stats.cache_write_energy_nj + cache_leak_total / 2
-        bd.mem_read_nj = nvm.energy_read_nj
-        bd.mem_write_nj = nvm.energy_write_nj
-        bd.compute_nj = compute_total
-        res.energy = bd
-        if self.controller is not None:
-            res.reconfig_count = self.controller.reconfig_count
-            res.maxline_min, res.maxline_max = self.controller.min_max_seen
-            res.prediction_accuracy = self.controller.prediction_accuracy
-        elif isinstance(design, WLCache):
-            res.maxline_min = res.maxline_max = design.maxline
-        if isinstance(design, WLCache) and design.dynamic_policy is not None:
-            res.dyn_raises = design.dynamic_policy.raises
-        checker = getattr(design, "_invariant_checker", None)
-        if checker is not None:
-            res.invariant_checks = checker.checks
-        recorder = getattr(self, "_trace_recorder", None)
-        if recorder is not None:
-            recorder.finish(self, res)
-        res.final_regs = core.arch_regs
-        res.final_memory = nvm.words
-        return res
+        return self._finish(res, bd, t, period, compute_total,
+                            cache_leak_total)
 
     # ------------------------------------------------------------------
     def _new_period(self) -> PeriodStats:

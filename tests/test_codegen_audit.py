@@ -345,6 +345,73 @@ class TestLiveSystems:
 
     def test_audit_suite_smoke(self):
         results = audit_suite(["sha"], scale=0.2)
-        assert set(results) == {"batch:replay", "sha"}
+        assert set(results) == {"batch:replay", "sha",
+                                "lockstep:engines"}
         assert {k: [f.render() for f in v]
                 for k, v in results.items() if v} == {}
+
+
+class TestLockstepEngineContract:
+    """A008 (+ A005/A006) over the generated lockstep column engines:
+    a clean case per audited property and a seeded mutation each."""
+
+    #: a mixed column: wl fast stores, base fast loads, call fallback
+    SIG = (("wl", 1, 1, 4, 15, 3), ("base", 0, 0, 4, 15, 3),
+           ("call", 0, 1, 0, 0, 0))
+
+    def _findings(self, mangle=None):
+        from repro.lint.codegen_audit import audit_lockstep_engine
+        from repro.lockstep.codegen import render_engine_source
+        src = render_engine_source(self.SIG)
+        if mangle:
+            src = mangle(src)
+        return audit_lockstep_engine(self.SIG, src, "t")
+
+    def test_rendered_engine_clean(self):
+        assert self._findings() == []
+
+    def test_unknown_episode_tag(self):
+        findings = self._findings(lambda s: s.replace(
+            "_ep.append(('bail',))", "_ep.append(('oops',))"))
+        assert "A008" in rules_of(findings)
+
+    def test_wrong_episode_arity(self):
+        findings = self._findings(lambda s: s.replace(
+            "_ep.append(('bail',))", "_ep.append(('bail', 0))"))
+        assert "A008" in rules_of(findings)
+
+    def test_missing_cursor_publication(self):
+        findings = self._findings(lambda s: s.replace(
+            "cell[2] = _cur", "pass"))
+        assert "A008" in rules_of(findings)
+        assert any("cell[2]" in f.message for f in findings)
+
+    def test_missing_instance_writeback(self):
+        # drop instance 1's mirror slice writeback (the slice *store*,
+        # not the matching unpack read at round entry)
+        findings = self._findings(lambda s: s.replace(
+            "            _s1[20:38] = ", "            _y = "))
+        assert "A008" in rules_of(findings)
+        assert any("instances [1]" in f.message for f in findings)
+
+    def test_ambient_name_flagged(self):
+        findings = self._findings(lambda s: s.replace(
+            "_ep.append(('bail',))",
+            "_ep.append(('bail',)) if _rng else None"))
+        assert "A006" in rules_of(findings)
+
+    def test_stale_retained_source(self):
+        findings = self._findings(lambda s: s + "\n# drifted\n")
+        assert "A005" in rules_of(findings)
+
+    def test_real_run_engines_clean(self):
+        from repro.batch import clear_streams
+        from repro.lint.codegen_audit import audit_lockstep_engines
+        from repro.lockstep.codegen import engine_sources
+        from repro.sim.sweep import run_grid
+        clear_streams()
+        run_grid(("sha",), ("WL-Cache", "NVSRAM(ideal)", "WT+Buffer"),
+                 "trace1", jobs=1, scale=0.2, jit=True, memfast=True,
+                 batch=True, lockstep=True)
+        assert engine_sources(), "lockstep run retained no engines"
+        assert audit_lockstep_engines() == []

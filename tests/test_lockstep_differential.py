@@ -1,0 +1,85 @@
+"""Hypothesis differential: lockstep sweeps are bit-identical to batch.
+
+Randomized small grids - kernel subsets, design subsets spanning every
+engine shape (wl/wb fast stores, base, call), power condition, scale,
+instruction budget - run twice, once with ``SimConfig(batch=True)`` on
+the per-instance replay path and once with ``lockstep=True`` columns,
+and every :class:`~repro.sim.results.RunResult` field is compared
+exactly. Mixed-trace grids matter most here: instances of one column
+differ in their capacitor accounting block, so the generated engine
+interleaves traced and untraced epilogues in one module.
+
+A random forced-bail event index (the scheduler's test seam) is drawn
+for some examples, so eviction/rejoin at arbitrary stream positions is
+part of the differential, not just the hand-picked cases in
+``tests/test_lockstep.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.lockstep.scheduler as scheduler
+from repro.batch import clear_streams
+from repro.sim.sweep import run_grid
+
+_APPS = ("sha", "qsort", "adpcmdecode", "dijkstra")
+#: every engine shape: wl, wb (two cost families), base, call
+_DESIGNS = ("WL-Cache", "NVCache-WB", "VCache-WT", "NVSRAM(ideal)",
+            "WT+Buffer")
+
+
+@st.composite
+def grid_st(draw):
+    apps = draw(st.lists(st.sampled_from(_APPS), min_size=1, max_size=2,
+                         unique=True))
+    designs = draw(st.lists(st.sampled_from(_DESIGNS), min_size=1,
+                            max_size=3, unique=True))
+    trace = draw(st.sampled_from([None, "trace1", "trace2"]))
+    scale = draw(st.sampled_from([0.1, 0.15]))
+    overrides = {}
+    if draw(st.booleans()):
+        overrides["max_instructions"] = draw(
+            st.sampled_from([200_000, 1_000_000]))
+    bail_ei = draw(st.one_of(
+        st.none(), st.integers(min_value=0, max_value=20_000)))
+    bail_design = draw(st.sampled_from(designs))
+    return apps, designs, trace, scale, overrides, bail_ei, bail_design
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(grid_st())
+def test_lockstep_grid_bit_identical_to_batch(grid):
+    apps, designs, trace, scale, overrides, bail_ei, bail_design = grid
+    clear_streams()
+    try:
+        ref = run_grid(apps, designs, trace, jobs=1, scale=scale,
+                       batch=True, **overrides)
+        ref_err = None
+    except Exception as exc:  # budget truncation must match too
+        ref, ref_err = None, (type(exc), str(exc))
+    clear_streams()
+    if bail_ei is not None:
+        scheduler.BAIL_HOOK = (
+            lambda task: bail_ei if task.design == bail_design else None)
+    try:
+        lk = run_grid(apps, designs, trace, jobs=1, scale=scale,
+                      batch=True, lockstep=True, **overrides)
+        lk_err = None
+    except Exception as exc:
+        lk, lk_err = None, (type(exc), str(exc))
+    finally:
+        scheduler.BAIL_HOOK = None
+    assert ref_err == lk_err
+    if ref_err is not None:
+        return
+    assert ref.keys() == lk.keys()
+    for key in ref:
+        a, b = ref[key], lk[key]
+        for f in dataclasses.fields(a):
+            assert getattr(a, f.name) == getattr(b, f.name), \
+                f"{key}: RunResult.{f.name} diverged"
