@@ -44,6 +44,7 @@ HEADLINES = {
     "BENCH_5": ("gmean_speedup_vs_jit", "memfast vs jit"),
     "BENCH_6": ("gmean_sweep_speedup", "batch sweep vs jit+memfast"),
     "BENCH_9": ("gmean_sweep_speedup", "lockstep columns vs batch replay"),
+    "BENCH_10": ("warmstart_speedup", "warm store vs cold process"),
 }
 
 #: bench stem -> env var that, when set, makes a missing fresh report a
@@ -51,6 +52,7 @@ HEADLINES = {
 #: produced no report must not pass CI
 REQUIRED_UNDER = {
     "BENCH_9": "REPRO_LOCKSTEP_GATE",
+    "BENCH_10": "REPRO_STORE_GATE",
 }
 
 DEFAULT_TOL = 0.6

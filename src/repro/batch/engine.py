@@ -30,9 +30,7 @@ like the other tier switches).
 
 from __future__ import annotations
 
-import hashlib
 import os
-import pickle
 import traceback
 from collections.abc import Callable, Iterator
 from dataclasses import replace
@@ -57,10 +55,12 @@ from repro.workloads import build_workload, verify_checks
 #: this process (pool workers re-export it, like REPRO_JIT).
 ENV_VAR = "REPRO_BATCH"
 
-#: ``REPRO_STREAM_CACHE=<dir>`` shares recordings across *processes*:
-#: campaign shards (and ``repro campaign --from-json`` merge runs) dump
-#: each raw recording into the directory once and load instead of
-#: re-recording. Writes are atomic (tmp + rename), loads tolerate any
+#: ``REPRO_STREAM_CACHE=<dir>`` shares recordings across *processes*.
+#: Since the persistent artifact store subsumed the old per-directory
+#: pickle files, this is a legacy alias for the store root
+#: (:func:`repro.store.store_root` - it wins over ``REPRO_CACHE_DIR``
+#: when set); recordings are the store's ``"stream"`` artifact class.
+#: Writes stay atomic (tmp + rename) and loads still tolerate any
 #: corruption by falling back to recording.
 CACHE_DIR_ENV = "REPRO_STREAM_CACHE"
 
@@ -197,27 +197,26 @@ def plan(tasks) -> list[tuple]:
     return units
 
 
-def _stream_cache_dir() -> str | None:
-    d = os.environ.get(CACHE_DIR_ENV, "").strip()
-    return d or None
+def _stream_store_key(ckey: tuple) -> tuple:
+    from repro.store.keys import modules_fingerprint
 
-
-def _disk_path(cache_dir: str, ckey: tuple) -> str:
-    digest = hashlib.sha256(repr(ckey).encode()).hexdigest()[:32]
-    return os.path.join(cache_dir, f"rec-{digest}.pkl")
+    return ("stream-rec",
+            modules_fingerprint("repro.batch.record", "repro.cpu.core",
+                                "repro.isa.opcodes"), ckey)
 
 
 def _disk_load(ckey: tuple) -> tuple | None:
     """A previously shared recording, or None (not cached / unreadable -
-    a bad file is never an error, just a re-record)."""
-    cache_dir = _stream_cache_dir()
-    if cache_dir is None:
+    a bad entry is never an error, just a re-record). Recordings live in
+    the ``"stream"`` class of the persistent artifact store
+    (:mod:`repro.store`); ``REPRO_STREAM_CACHE=<dir>`` still works as a
+    legacy alias for the store root."""
+    from repro.store.core import get_store
+
+    store = get_store()
+    if store is None:
         return None
-    try:
-        with open(_disk_path(cache_dir, ckey), "rb") as fh:
-            recording = pickle.load(fh)
-    except Exception:
-        return None
+    recording = store.load("stream", _stream_store_key(ckey))
     if not (isinstance(recording, tuple) and len(recording) == 6):
         return None
     _STREAM_STATS["disk_hits"] += 1
@@ -225,19 +224,13 @@ def _disk_load(ckey: tuple) -> tuple | None:
 
 
 def _disk_store(ckey: tuple, recording: tuple) -> None:
-    cache_dir = _stream_cache_dir()
-    if cache_dir is None:
+    from repro.store.core import get_store
+
+    store = get_store()
+    if store is None:
         return
-    try:
-        os.makedirs(cache_dir, exist_ok=True)
-        path = _disk_path(cache_dir, ckey)
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as fh:
-            pickle.dump(recording, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)  # atomic: concurrent shards never clash
+    if store.save("stream", _stream_store_key(ckey), recording):
         _STREAM_STATS["disk_writes"] += 1
-    except OSError:
-        return
 
 
 def get_stream(program: Program, costs: CycleCosts,
@@ -306,10 +299,13 @@ def build_replay_system(program: Program, task, config: SimConfig,
 
 def _replay_task(program: Program, task, config: SimConfig,
                  stream: GuestStream):
+    from repro.store.results import store_task
+
     res = build_replay_system(program, task, config, stream).run()
     if task.verify:
         verify_checks(program, res.final_memory)
     _STREAM_STATS["replays"] += 1
+    store_task(task, res)
     return res
 
 
@@ -338,7 +334,24 @@ def iter_outcomes(tasks, run_slow: Callable) -> Iterator[tuple]:
     into one *cluster* and their lockstep-eligible tasks advance
     together as a column (:mod:`repro.lockstep.scheduler`); everything
     else keeps the per-instance replay path unchanged.
+
+    When result memoization is on (:mod:`repro.store.results`), every
+    task is first checked against the persistent memo: hits are yielded
+    up front without touching the recorder, so an all-hit grid never
+    records, expands, or replays anything.
     """
+    from repro.store.results import lookup_task
+
+    pending = []
+    for task in tasks:
+        memo = lookup_task(task)
+        if memo is not None:
+            yield task, ("ok", memo)
+        else:
+            pending.append(task)
+    tasks = pending
+    if not tasks:
+        return
     units = plan(tasks)
     if not any(task_lockstep_eligible(t) for t in tasks):
         for kind, unit in units:
@@ -429,6 +442,8 @@ def _run_cluster(groups: list, run_slow: Callable) -> Iterator[tuple]:
         for task, _config, _stream in column:
             yield task, ("err", exc, tb)
         return
+    from repro.store.results import store_task
+
     for task, outcome in results:
         if outcome[0] == "ok" and task.verify:
             try:
@@ -438,6 +453,7 @@ def _run_cluster(groups: list, run_slow: Callable) -> Iterator[tuple]:
         if outcome[0] == "ok":
             _STREAM_STATS["replays"] += 1
             _STREAM_STATS["lockstep"] += 1
+            store_task(task, outcome[1])
         yield task, outcome
 
 

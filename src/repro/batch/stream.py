@@ -67,6 +67,8 @@ _META_CACHE_CAP = 256
 _SKEL_CACHE: dict[tuple, "StreamSkeleton"] = {}
 _SKEL_CACHE_CAP = 4
 
+_SKEL_STATS = {"skeleton_builds": 0, "skeleton_loads": 0}
+
 
 class StreamSkeleton:
     """The cost-independent expansion of one recording."""
@@ -242,6 +244,42 @@ def _build_skeleton(meta: _ProgramMeta, codes: list[int], n_total: int,
                           final_regs)
 
 
+def _skel_store_key(ckey: tuple, n_total: int) -> tuple:
+    from repro.store.keys import modules_fingerprint
+
+    return ("stream-skel",
+            modules_fingerprint("repro.batch.stream", "repro.batch.record",
+                                "repro.cpu.core", "repro.isa.opcodes"),
+            ckey, n_total)
+
+
+def _load_skeleton(ckey: tuple, n_total: int) -> "StreamSkeleton | None":
+    """A persisted skeleton (class ``"skel"`` of :mod:`repro.store`), or
+    None - anything malformed is just a rebuild."""
+    from repro.store.core import get_store
+
+    store = get_store()
+    if store is None:
+        return None
+    payload = store.load("skel", _skel_store_key(ckey, n_total))
+    if not (isinstance(payload, tuple) and len(payload) == 6
+            and payload[0] == n_total):
+        return None
+    _SKEL_STATS["skeleton_loads"] += 1
+    return StreamSkeleton(*payload)
+
+
+def _save_skeleton(ckey: tuple, skel: StreamSkeleton) -> None:
+    from repro.store.core import get_store
+
+    store = get_store()
+    if store is None:
+        return
+    store.save("skel", _skel_store_key(ckey, skel.n_total),
+               (skel.n_total, skel.events, skel.cum_branches, skel.blk_g,
+                skel.blk_pc, skel.final_regs))
+
+
 def build_stream(program: Program, costs: CycleCosts,
                  recording: tuple) -> GuestStream:
     """Expand a raw recording into this cost family's stream.
@@ -262,7 +300,11 @@ def build_stream(program: Program, costs: CycleCosts,
     if skel is None or skel.n_total != n_total:
         if len(_SKEL_CACHE) >= _SKEL_CACHE_CAP:
             _SKEL_CACHE.pop(next(iter(_SKEL_CACHE)))
-        skel = _build_skeleton(meta, codes, n_total, final_regs, ops)
+        skel = _load_skeleton(skey[0], n_total)
+        if skel is None:
+            skel = _build_skeleton(meta, codes, n_total, final_regs, ops)
+            _SKEL_STATS["skeleton_builds"] += 1
+            _save_skeleton(skey[0], skel)
         _SKEL_CACHE[skey] = skel
     cost_stream = array("q")
     ext_c = cost_stream.extend
@@ -279,10 +321,13 @@ def build_stream(program: Program, costs: CycleCosts,
 def stream_meta_stats() -> dict:
     """Expansion-metadata cache counters (tests/benchmarks)."""
     return {"programs": len(_META_CACHE), "skeletons": len(_SKEL_CACHE),
-            "codes": sum(len(m.codes) for m in _META_CACHE.values())}
+            "codes": sum(len(m.codes) for m in _META_CACHE.values()),
+            **_SKEL_STATS}
 
 
 def clear_stream_meta() -> None:
     """Drop expansion metadata and skeletons (tests)."""
     _META_CACHE.clear()
     _SKEL_CACHE.clear()
+    for k in _SKEL_STATS:
+        _SKEL_STATS[k] = 0

@@ -14,9 +14,14 @@ Commands:
   (waived findings never gate; ``--errors-only`` stops warnings from
   gating too).
 * ``audit`` - statically audit the *generated* Python from the
-  jit/memfast/batch compilers against their structural contracts
-  (A001-A007). Exit code 0 when every compiled family verifies, 2 on
-  any contract violation.
+  jit/memfast/batch/lockstep compilers against their structural
+  contracts (A001-A009, including the persistent-store load contract).
+  Exit code 0 when every compiled family verifies, 2 on any contract
+  violation.
+* ``cache`` - inspect and maintain the persistent artifact store
+  (``REPRO_CACHE_DIR``): ``stats`` prints disk usage per artifact class
+  plus this process's counters, ``gc --max-size`` evicts least-recently
+  -used entries down to a byte budget, ``clear`` empties the store.
 * ``trace <app> <design> <trace>`` - run with the observability layer
   attached and export the event trace as Chrome/Perfetto ``trace.json``
   (plus optional CSV/text), with a terminal timeline summary.
@@ -36,6 +41,8 @@ Examples::
     python -m repro trace dijkstra wl trace1 --out trace.json
     python -m repro campaign --apps sha qsort --seeds 8 --out results/mc
     python -m repro lint --format json
+    python -m repro cache stats
+    python -m repro cache gc --max-size 500M
     python -m repro plot results/fig05_trace1.csv
     python -m repro list
 """
@@ -304,6 +311,77 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """``500M``/``2G``/``123456`` -> bytes (K/M/G/T suffixes, base 1024)."""
+    raw = text.strip()
+    mult = 1
+    suffixes = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+    if raw and raw[-1].upper() in suffixes:
+        mult = suffixes[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SystemExit(f"repro cache: bad size {text!r} "
+                         f"(use bytes or K/M/G/T suffix)") from None
+    return max(0, int(value * mult))
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (f"{value:.0f} {unit}" if unit == "B"
+                    else f"{value:.1f} {unit}")
+        value /= 1024
+    return f"{n} B"
+
+
+def cmd_cache(args) -> int:
+    import json as _json
+
+    from repro.store import cache_report, clear_store, gc_store, store_root
+
+    root = store_root()
+    if args.action == "stats":
+        report = cache_report(include_disk=True)
+        if args.json:
+            print(_json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        print(f"store root: {root or '(disabled)'}")
+        disk = report.get("disk")
+        if disk:
+            print(f"disk: {disk['files']} entries, "
+                  f"{_fmt_bytes(disk['bytes'])}")
+            for cls, d in sorted(disk["classes"].items()):
+                print(f"  {cls:<8} {d['files']:>6} entries  "
+                      f"{_fmt_bytes(d['bytes'])}")
+        events = report["events"]
+        if events:
+            print("events (this process): "
+                  + " ".join(f"{k}={v}" for k, v in sorted(events.items())))
+        caches = report["process_caches"]
+        print("process caches: "
+              + " ".join(f"{name}[" + " ".join(
+                    f"{k}={v}" for k, v in sorted(stats.items())) + "]"
+                    for name, stats in sorted(caches.items())))
+        return 0
+    if root is None:
+        print("repro cache: the store is disabled "
+              "(set REPRO_CACHE_DIR to a directory)", file=sys.stderr)
+        return 2
+    if args.action == "gc":
+        report = gc_store(root, _parse_size(args.max_size))
+        print(f"gc {root}: removed {report['removed_files']} entries "
+              f"({_fmt_bytes(report['removed_bytes'])}), kept "
+              f"{_fmt_bytes(report['kept_bytes'])} "
+              f"(budget {_fmt_bytes(report['max_bytes'])})")
+        return 0
+    removed = clear_store(root)
+    print(f"cleared {root}: removed {removed} entries")
+    return 0
+
+
 def cmd_plot(args) -> int:
     import os
 
@@ -562,10 +640,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "through one compiled column kernel "
                            "(implies --batch)")
     p_mc.add_argument("--stream-cache", default=None, metavar="DIR",
-                      help="shared on-disk guest-stream recording cache; "
-                           "point campaign shards (--seed-offset runs on "
-                           "several machines or invocations) at the same "
-                           "directory so each kernel records only once")
+                      help="root the persistent artifact store at DIR for "
+                           "this campaign (legacy alias: recordings, "
+                           "generated sources, and memoized results all "
+                           "share it); point campaign shards "
+                           "(--seed-offset runs on several machines or "
+                           "invocations) at the same directory so each "
+                           "kernel records only once")
     p_mc.add_argument("--no-verify", action="store_true",
                       help="skip per-point crash-consistency checks")
     p_mc.add_argument("--out", default="results/campaign", metavar="PREFIX",
@@ -588,6 +669,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--quiet", action="store_true",
                       help="suppress the progress line")
     p_mc.set_defaults(func=cmd_campaign)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect/maintain the persistent artifact store "
+             "(REPRO_CACHE_DIR)")
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    p_cstats = cache_sub.add_parser(
+        "stats", help="disk usage per artifact class + process counters")
+    p_cstats.add_argument("--json", action="store_true",
+                          help="machine-readable report")
+    p_cgc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries to a byte budget")
+    p_cgc.add_argument("--max-size", required=True, metavar="SIZE",
+                       help="target size, e.g. 500M, 2G, or plain bytes")
+    cache_sub.add_parser("clear", help="remove every store entry")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_plot = sub.add_parser("plot", help="render a bench CSV to SVG")
     p_plot.add_argument("csv", help="a bench CSV, or a results directory to render everything")

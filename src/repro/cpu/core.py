@@ -29,6 +29,8 @@ optimizations keep it hot:
 
 from __future__ import annotations
 
+import os
+
 from repro.cpu.costs import CycleCosts
 from repro.errors import ExecutionError
 from repro.isa import opcodes as oc
@@ -63,6 +65,25 @@ _CONTENT_KEY = "_content_key"
 #: a backstop for program-fuzzing tests.
 _DECODE_SHARED: dict[tuple, list] = {}
 _DECODE_SHARED_CAP = 1024
+_DECODE_CAP_ENV = "REPRO_DECODE_CAP"
+_DECODE_STATS = {"evictions": 0}
+
+
+def _decode_cap() -> int:
+    """The shared decode cache's entry cap (``REPRO_DECODE_CAP``
+    overrides the default backstop)."""
+    raw = os.environ.get(_DECODE_CAP_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return _DECODE_SHARED_CAP
+
+
+def decode_cache_stats() -> dict:
+    """Shared decode cache counters (the unified cache report)."""
+    return {"entries": len(_DECODE_SHARED), **_DECODE_STATS}
 
 
 def program_content_key(program: Program) -> tuple:
@@ -135,8 +156,11 @@ def predecode(program: Program, costs: CycleCosts) -> list[tuple]:
                     a = _SINK
                 code.append((internal[op], a, b, c,
                              idx >> _ILINE_SHIFT, table[op]))
-            if len(_DECODE_SHARED) >= _DECODE_SHARED_CAP:
-                _DECODE_SHARED.clear()
+            while len(_DECODE_SHARED) >= _decode_cap():
+                # evict the oldest entry instead of dumping the whole
+                # cache: fuzzing churn must not cold-start sweep kernels
+                _DECODE_SHARED.pop(next(iter(_DECODE_SHARED)))
+                _DECODE_STATS["evictions"] += 1
             _DECODE_SHARED[shared_key] = code
         cache[costs] = code
     return code

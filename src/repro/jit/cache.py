@@ -13,17 +13,28 @@ builds the dispatch table); binding executes it in a fresh namespace per
 core, producing cheap per-core function objects closed over that core's
 memory-system methods. Suffix blocks (mid-block resume points, common
 under small chunk budgets) are compiled lazily and cached alongside.
+
+When the persistent artifact store is enabled (:mod:`repro.store`),
+every rendered source is persisted under its content key + the jit
+generator fingerprint, and a cold process *loads* the source text
+instead of re-rendering it ("loads"/"suffix_loads"/"trace_loads" in the
+stats; the Python ``compile`` still runs, rendering is what is saved).
+Loaded sources land in the A009 audit ledger so ``repro audit`` can
+prove they re-render byte-identical.
 """
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_right
 
 from repro.cpu.core import program_content_key
 from repro.cpu.costs import CycleCosts
 from repro.isa.program import Program
-from repro.jit.blocks import (block_spans, compile_blocks_source,
-                              compile_suffix_source, compile_trace_source)
+from repro.jit.blocks import (block_meta, block_spans,
+                              compile_blocks_source, compile_suffix_source,
+                              compile_trace_source)
+from repro.store.sources import jit_fingerprint, load_source, save_source
 
 _COMPILED_KEY = "_jit_compiled"
 
@@ -40,7 +51,23 @@ _CODE_CACHE: dict[tuple, "CompiledProgram"] = {}
 _CACHE_CAP = 512
 
 _STATS = {"compiles": 0, "hits": 0, "suffix_compiles": 0,
-          "trace_compiles": 0}
+          "trace_compiles": 0, "loads": 0, "suffix_loads": 0,
+          "trace_loads": 0, "trace_evictions": 0}
+
+#: cap on per-program cached traces; a pathological chunk pattern can
+#: root a trace at every pc, and each trace holds source + code.
+_TRACE_CAP_ENV = "REPRO_TRACE_CACHE_CAP"
+_TRACE_CACHE_CAP = 512
+
+
+def _trace_cache_cap() -> int:
+    raw = os.environ.get(_TRACE_CAP_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return _TRACE_CACHE_CAP
 
 
 class CompiledProgram:
@@ -60,14 +87,21 @@ class CompiledProgram:
                  "_trace_codes", "suffix_sources", "trace_sources")
 
     def __init__(self, program: Program, costs: CycleCosts,
-                 memfast: str | bool = False, record: bool = False):
+                 memfast: str | bool = False, record: bool = False,
+                 source: str | None = None):
         self.program = program
         self.costs = costs
         self.memfast = memfast
         self.record = record
         self.n = len(program.instructions)
-        self.source, self.block_meta = compile_blocks_source(
-            program, costs, memfast, record)
+        if source is None:
+            self.source, self.block_meta = compile_blocks_source(
+                program, costs, memfast, record)
+        else:
+            # warm start from persisted source text: the block metadata
+            # is a pure function of the block partition (see block_meta)
+            self.source = source
+            self.block_meta = block_meta(program)
         self.module_code = compile(
             self.source, f"<jit:{program.name}>", "exec")
         self._starts = sorted(s for s, _e in block_spans(program))
@@ -85,6 +119,10 @@ class CompiledProgram:
         exec(self.module_code, ns)
         return ns["_bind"](*args)
 
+    def _store_key(self, kind: str, *extra) -> tuple:
+        return (kind, jit_fingerprint(), program_content_key(self.program),
+                self.costs, self.memfast, self.record, *extra)
+
     def suffix_entry(self, pc: int, args: tuple) -> tuple:
         """Bind the suffix block resuming at mid-block ``pc`` (compiling
         it on first demand, then reusing the cached code object)."""
@@ -92,12 +130,22 @@ class CompiledProgram:
         if code is None:
             j = bisect_right(self._starts, pc)
             end = self._starts[j] if j < len(self._starts) else self.n
-            src = compile_suffix_source(self.program, self.costs, pc, end,
-                                        self.memfast, self.record)
+
+            def render() -> str:
+                return compile_suffix_source(self.program, self.costs, pc,
+                                             end, self.memfast, self.record)
+
+            key = self._store_key("jit-suffix", pc, end)
+            src = load_source(key, f"jit:{self.program.name}+{pc}", render)
+            if src is None:
+                src = render()
+                _STATS["suffix_compiles"] += 1
+                save_source(key, src)
+            else:
+                _STATS["suffix_loads"] += 1
             code = compile(src, f"<jit:{self.program.name}+{pc}>", "exec")
             self._suffix_codes[pc] = code
             self.suffix_sources[pc] = src
-            _STATS["suffix_compiles"] += 1
         ns: dict = {}
         exec(code, ns)
         return ns["_bind"](*args)
@@ -108,12 +156,27 @@ class CompiledProgram:
         assert not self.record, "record mode has no trace tier"
         code = self._trace_codes.get(pc)
         if code is None:
-            src = compile_trace_source(self.program, self.costs, pc,
-                                       TRACE_CAP, self.memfast)
+
+            def render() -> str:
+                return compile_trace_source(self.program, self.costs, pc,
+                                            TRACE_CAP, self.memfast)
+
+            key = self._store_key("jit-trace", pc, TRACE_CAP)
+            src = load_source(key, f"jit:{self.program.name}~{pc}", render)
+            if src is None:
+                src = render()
+                _STATS["trace_compiles"] += 1
+                save_source(key, src)
+            else:
+                _STATS["trace_loads"] += 1
+            if len(self._trace_codes) >= _trace_cache_cap():
+                oldest = next(iter(self._trace_codes))
+                del self._trace_codes[oldest]
+                self.trace_sources.pop(oldest, None)
+                _STATS["trace_evictions"] += 1
             code = compile(src, f"<jit:{self.program.name}~{pc}>", "exec")
             self._trace_codes[pc] = code
             self.trace_sources[pc] = src
-            _STATS["trace_compiles"] += 1
         ns: dict = {}
         exec(code, ns)
         return ns["_bind"](*args)
@@ -134,9 +197,21 @@ def get_compiled(program: Program, costs: CycleCosts,
         if compiled is None:
             if len(_CODE_CACHE) >= _CACHE_CAP:
                 _CODE_CACHE.clear()
-            compiled = CompiledProgram(program, costs, memfast, record)
+            store_key = ("jit-blocks", jit_fingerprint(), key[0], costs,
+                         memfast, record)
+            src = load_source(
+                store_key, f"jit:{program.name}",
+                lambda: compile_blocks_source(program, costs, memfast,
+                                              record)[0])
+            if src is None:
+                compiled = CompiledProgram(program, costs, memfast, record)
+                _STATS["compiles"] += 1
+                save_source(store_key, compiled.source)
+            else:
+                compiled = CompiledProgram(program, costs, memfast, record,
+                                           source=src)
+                _STATS["loads"] += 1
             _CODE_CACHE[key] = compiled
-            _STATS["compiles"] += 1
         else:
             _STATS["hits"] += 1
         per_program[meta_key] = compiled

@@ -42,14 +42,30 @@ stale MRU pointer simply falls through to the normal set probe.
 
 Generated code objects are cached by source string, so a sweep
 generates each (family, geometry, cost) combination once per process.
+Rendered *sources* are additionally memoized under their literal
+parameter tuple and persisted through :mod:`repro.store` when enabled:
+a warm process loads handler text instead of re-rendering ("loads" vs
+"renders" in :func:`codegen_cache_stats`), and every loaded source
+lands in the A009 audit ledger with a pure re-render closure (the
+closures capture literals, never a live memory system).
 """
 
 from __future__ import annotations
+
+from repro.store.sources import load_source as _store_load
+from repro.store.sources import memfast_fingerprint
+from repro.store.sources import save_source as _store_save
 
 _FULL = 0xFFFFFFFF
 
 #: source -> compiled code object (families x geometries stay small)
 _CODE_CACHE: dict[str, object] = {}
+
+#: literal-parameter key -> rendered source (in-memory memo in front of
+#: the persistent store)
+_SRC_CACHE: dict[tuple, str] = {}
+
+_GEN_STATS = {"renders": 0, "loads": 0}
 
 # LRU stamping, at the two indents the templates need. The chained
 # assignment writes the accumulator slot first, then the local.
@@ -74,7 +90,32 @@ def _make(source: str, *args):
 
 def codegen_cache_stats() -> dict:
     """Counters for tests/benchmarks."""
-    return {"sources": len(_CODE_CACHE)}
+    return {"sources": len(_CODE_CACHE), **_GEN_STATS}
+
+
+def clear_handler_sources() -> None:
+    """Drop rendered handler sources/code and reset counters (tests)."""
+    _SRC_CACHE.clear()
+    _CODE_CACHE.clear()
+    for k in _GEN_STATS:
+        _GEN_STATS[k] = 0
+
+
+def _keyed_source(key: tuple, unit: str, render) -> str:
+    """The handler source for a literal-parameter ``key``: in-memory
+    memo, then the persistent store, then a fresh render (persisted)."""
+    src = _SRC_CACHE.get(key)
+    if src is None:
+        store_key = ("memfast", memfast_fingerprint()) + key
+        src = _store_load(store_key, f"memfast:{key[0]}", render)
+        if src is None:
+            src = render()
+            _GEN_STATS["renders"] += 1
+            _store_save(store_key, src)
+        else:
+            _GEN_STATS["loads"] += 1
+        _SRC_CACHE[key] = src
+    return src
 
 
 _LOAD_TMPL = """\
@@ -190,64 +231,106 @@ _STORE_SHAPES = (
 )
 
 
+# Pure renderers: every baked value arrives as a literal argument, so a
+# (kind, *literals) tuple is both the memo key and everything an A009
+# re-render closure needs - no live memory system is ever captured.
+
+def _render_load(shift, smask, lru, e_read, wmask, hit_cycles) -> str:
+    return _LOAD_TMPL.format(
+        shift=shift, smask=smask, stamp=_STAMP8 if lru else "",
+        e_read=e_read, wmask=wmask, hit_cycles=hit_cycles)
+
+
+def _render_wb(name, shift, smask, lru, e_write, wmask,
+               hit_cycles) -> str:
+    shape = {s[0]: s for s in _STORE_SHAPES}[name]
+    _name, sig, slow_call, merge = shape
+    return _WB_STORE_TMPL.format(
+        name=name, sig=sig, slow_call=slow_call, merge=merge,
+        shift=shift, smask=smask, stamp=_STAMP8 if lru else "",
+        e_write=e_write, wmask=wmask, hit_cycles=hit_cycles)
+
+
+def _render_wl(name, shift, smask, lru, e_write, wmask, hit_cycles,
+               dq_energy) -> str:
+    shape = {s[0]: s for s in _STORE_SHAPES}[name]
+    _name, sig, slow_call, merge = shape
+    return _WL_STORE_TMPL.format(
+        name=name, sig=sig, slow_call=slow_call, merge=merge,
+        shift=shift, smask=smask, stamp=_STAMP8 if lru else "",
+        stamp12=_STAMP12 if lru else "",
+        e_write=e_write, wmask=wmask, hit_cycles=hit_cycles,
+        dq_energy=dq_energy)
+
+
+def _load_key(m) -> tuple:
+    array = m.array
+    return ("load", array.line_shift, array.set_mask, bool(array._lru),
+            m._e_read, m._word_mask, m._hit_read_cycles)
+
+
+def _wb_key(m, name: str) -> tuple:
+    array = m.array
+    return (f"wb-{name}", name, array.line_shift, array.set_mask,
+            bool(array._lru), m._e_write, m._word_mask,
+            m._hit_write_cycles)
+
+
+def _wl_key(m, name: str) -> tuple:
+    array = m.array
+    return (f"wl-{name}", name, array.line_shift, array.set_mask,
+            bool(array._lru), m._e_write, m._word_mask,
+            m._hit_write_cycles, m.dq_access_energy_nj)
+
+
 def load_source(m) -> str:
     """Render the load-hit handler source for a live memory system (the
     baked literals come straight off ``m``, so a fresh render is the
     auditor's ground truth for what the handler *should* contain)."""
-    array = m.array
-    return _LOAD_TMPL.format(
-        shift=array.line_shift, smask=array.set_mask,
-        stamp=_STAMP8 if array._lru else "",
-        e_read=m._e_read, wmask=m._word_mask,
-        hit_cycles=m._hit_read_cycles)
+    return _render_load(*_load_key(m)[1:])
 
 
 def wb_store_sources(m) -> dict[str, str]:
     """Rendered plain write-back store handler sources, keyed by name."""
-    array = m.array
-    out = {}
-    for name, sig, slow_call, merge in _STORE_SHAPES:
-        out[name] = _WB_STORE_TMPL.format(
-            name=name, sig=sig, slow_call=slow_call, merge=merge,
-            shift=array.line_shift, smask=array.set_mask,
-            stamp=_STAMP8 if array._lru else "",
-            e_write=m._e_write, wmask=m._word_mask,
-            hit_cycles=m._hit_write_cycles)
-    return out
+    return {name: _render_wb(*_wb_key(m, name)[1:])
+            for name, _sig, _slow, _merge in _STORE_SHAPES}
 
 
 def wl_store_sources(m) -> dict[str, str]:
     """Rendered WL-Cache store handler sources, keyed by name."""
-    array = m.array
-    out = {}
-    for name, sig, slow_call, merge in _STORE_SHAPES:
-        out[name] = _WL_STORE_TMPL.format(
-            name=name, sig=sig, slow_call=slow_call, merge=merge,
-            shift=array.line_shift, smask=array.set_mask,
-            stamp=_STAMP8 if array._lru else "",
-            stamp12=_STAMP12 if array._lru else "",
-            e_write=m._e_write, wmask=m._word_mask,
-            hit_cycles=m._hit_write_cycles,
-            dq_energy=m.dq_access_energy_nj)
-    return out
+    return {name: _render_wl(*_wl_key(m, name)[1:])
+            for name, _sig, _slow, _merge in _STORE_SHAPES}
 
 
 def build_load(m, acc, slow_load):
     """The generic load-hit handler (shared base-class load semantics)."""
     array = m.array
-    return _make(load_source(m), array.sets, array.mru, acc, slow_load)
+    key = _load_key(m)
+    src = _keyed_source(key, "memfast:load",
+                        lambda: _render_load(*key[1:]))
+    return _make(src, array.sets, array.mru, acc, slow_load)
 
 
 def build_wb_stores(m, acc, slow_sm):
     """store/store_masked for plain write-back hits (NVSRAM*, NVCache)."""
     array = m.array
-    return {name: _make(src, array.sets, array.mru, acc, slow_sm)
-            for name, src in wb_store_sources(m).items()}
+    out = {}
+    for name, _sig, _slow, _merge in _STORE_SHAPES:
+        key = _wb_key(m, name)
+        src = _keyed_source(key, f"memfast:wb-{name}",
+                            lambda key=key: _render_wb(*key[1:]))
+        out[name] = _make(src, array.sets, array.mru, acc, slow_sm)
+    return out
 
 
 def build_wl_stores(m, acc, slow_sm, dq_entry_cls):
     """store/store_masked for WL-Cache's two fast cases (§5.1)."""
     array = m.array
-    return {name: _make(src, array.sets, array.mru, acc, m, m.dq,
-                        m.dq.entries, m.pending, dq_entry_cls, slow_sm)
-            for name, src in wl_store_sources(m).items()}
+    out = {}
+    for name, _sig, _slow, _merge in _STORE_SHAPES:
+        key = _wl_key(m, name)
+        src = _keyed_source(key, f"memfast:wl-{name}",
+                            lambda key=key: _render_wl(*key[1:]))
+        out[name] = _make(src, array.sets, array.mru, acc, m, m.dq,
+                          m.dq.entries, m.pending, dq_entry_cls, slow_sm)
+    return out

@@ -170,6 +170,16 @@ class SimConfig:
     #: Bit-identical to serial on every ``RunResult`` field.
     #: ``REPRO_LOCKSTEP=1`` in the environment enables it too.
     lockstep: bool = False
+    #: Memoize finished results through the persistent artifact store
+    #: (:mod:`repro.store`): a completed run's stats are written under
+    #: ``program content x design x trace x config`` and an identical
+    #: later task returns them without simulating. Stats-only (no
+    #: ``final_memory``); a ``verify=True`` task only accepts entries
+    #: written by verified runs. Never engages for trace-recorder or
+    #: invariant-checker runs. ``REPRO_RESULT_CACHE=1`` in the
+    #: environment enables it too; either way nothing is stored unless
+    #: the store itself is enabled (``REPRO_CACHE_DIR``).
+    result_cache: bool = False
     chunk_instrs: int = 32
     max_instructions: int = 60_000_000
     max_outages: int = 100_000

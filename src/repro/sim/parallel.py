@@ -42,6 +42,10 @@ from repro.obs.recorder import ENV_VAR as _TRACE_ENV
 from repro.sim.config import SimConfig
 from repro.sim.factory import run_one, validate_design
 from repro.sim.results import RunResult
+from repro.store.core import ENV_VAR as _STORE_ENV
+from repro.store.core import absorb_store_stats, store_stats
+from repro.store.results import ENV_VAR as _RESULT_CACHE_ENV
+from repro.store.results import lookup_task, store_task
 from repro.workloads import build_workload, get_workload, verify_checks
 
 #: ``progress(done, total, (workload, design))`` - called in the parent
@@ -97,12 +101,21 @@ class SweepTask:
 
 
 def run_task(task: SweepTask) -> RunResult:
-    """Execute one task in this process (worker body; also the serial path)."""
+    """Execute one task in this process (worker body; also the serial path).
+
+    With result memoization on (:mod:`repro.store.results`), a persisted
+    result for this exact task is returned without simulating, and a
+    fresh result is persisted on the way out (after verification, so the
+    entry can vouch for later ``verify=True`` lookups)."""
+    memo = lookup_task(task)
+    if memo is not None:
+        return memo
     prog = build_workload(task.workload, task.scale)
     res = run_one(prog, task.design, task.trace, task.config,
                   **task.overrides)
     if task.verify:
         verify_checks(prog, res.final_memory)
+    store_task(task, res)
     return res
 
 
@@ -111,7 +124,9 @@ def _init_worker(check_env: str | None, trace_env: str | None,
                  memfast_env: str | None = None,
                  batch_env: str | None = None,
                  lockstep_env: str | None = None,
-                 stream_cache_env: str | None = None) -> None:
+                 stream_cache_env: str | None = None,
+                 store_env: str | None = None,
+                 result_cache_env: str | None = None) -> None:
     """Worker initializer: re-export the instrumentation switches.
 
     Pools spawned with a non-fork start method begin from a fresh
@@ -120,17 +135,21 @@ def _init_worker(check_env: str | None, trace_env: str | None,
     (REPRO_JIT), fast-path (REPRO_MEMFAST), batch (REPRO_BATCH), and
     lockstep (REPRO_LOCKSTEP) switches are shipped explicitly - a
     checked/traced/JITted/batched parallel sweep must apply them in
-    every worker, not just the parent. The shared on-disk recording
-    cache (REPRO_STREAM_CACHE) rides along so campaign shards record
-    each kernel once across *processes*. The worker's process-global
-    JIT code cache and guest-stream cache then warm once and serve all
-    the tasks the worker executes.
+    every worker, not just the parent. The persistent artifact store
+    switches ride along too - the store root (REPRO_CACHE_DIR and its
+    legacy alias REPRO_STREAM_CACHE) and the result memo
+    (REPRO_RESULT_CACHE) - so campaign shards record each kernel, render
+    each source, and simulate each point once across *processes*. The
+    worker's process-global JIT code cache and guest-stream cache then
+    warm once and serve all the tasks the worker executes.
     """
     for var, value in ((_CHECK_ENV, check_env), (_TRACE_ENV, trace_env),
                        (_JIT_ENV, jit_env), (_MEMFAST_ENV, memfast_env),
                        (_BATCH_ENV, batch_env),
                        (_LOCKSTEP_ENV, lockstep_env),
-                       (_STREAM_CACHE_ENV, stream_cache_env)):
+                       (_STREAM_CACHE_ENV, stream_cache_env),
+                       (_STORE_ENV, store_env),
+                       (_RESULT_CACHE_ENV, result_cache_env)):
         if value is None:
             os.environ.pop(var, None)
         else:
@@ -147,7 +166,8 @@ def worker_initargs() -> tuple:
     return (os.environ.get(_CHECK_ENV), os.environ.get(_TRACE_ENV),
             os.environ.get(_JIT_ENV), os.environ.get(_MEMFAST_ENV),
             os.environ.get(_BATCH_ENV), os.environ.get(_LOCKSTEP_ENV),
-            os.environ.get(_STREAM_CACHE_ENV))
+            os.environ.get(_STREAM_CACHE_ENV), os.environ.get(_STORE_ENV),
+            os.environ.get(_RESULT_CACHE_ENV))
 
 
 def _run_chunk(chunk: list[SweepTask]) -> list[tuple]:
@@ -155,10 +175,13 @@ def _run_chunk(chunk: list[SweepTask]) -> list[tuple]:
 
     The chunk's records are followed by one trailing ``("stats",
     delta)`` record carrying this chunk's batch-engine counter deltas
-    (recordings, cache hits, disk hits); the parent folds them back
-    with :func:`repro.batch.engine.absorb_stats` so sweep-wide cache
+    (recordings, cache hits, disk hits) plus, under the ``"store"``
+    key, the chunk's persistent-store event deltas; the parent folds
+    them back with :func:`repro.batch.engine.absorb_stats` /
+    :func:`repro.store.absorb_store_stats` so sweep-wide cache
     behaviour stays observable under the pool."""
     pre = batch_stats()
+    pre_store = store_stats()
     records = maybe_run_chunk_batched(chunk, run_task)
     if records is None:
         records = []
@@ -169,16 +192,21 @@ def _run_chunk(chunk: list[SweepTask]) -> list[tuple]:
                 records.append(("err", type(exc).__name__, str(exc),
                                 traceback.format_exc()))
     post = batch_stats()
-    records.append(("stats", {k: post[k] - pre.get(k, 0)
-                              for k in post if k not in
-                              ("streams", "raw_recordings")}))
+    delta = {k: post[k] - pre.get(k, 0)
+             for k in post if k not in ("streams", "raw_recordings")}
+    post_store = store_stats()
+    delta["store"] = {k: post_store[k] - pre_store.get(k, 0)
+                      for k in post_store}
+    records.append(("stats", delta))
     return records
 
 
 def _pop_stats(records: list[tuple]) -> list[tuple]:
     """Absorb and strip a chunk's trailing stats record, if present."""
     if records and records[-1][0] == "stats":
-        absorb_stats(records[-1][1])
+        delta = records[-1][1]
+        absorb_store_stats(delta.get("store", {}))
+        absorb_stats(delta)
         return records[:-1]
     return records
 

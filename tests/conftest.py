@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.isa.builder import ProgramBuilder
 from repro.mem.nvm import NVMainMemory
 from repro.mem.setassoc import CacheGeometry
 from repro.sim.config import SimConfig
+
+# The persistent artifact store (repro.store) defaults to ~/.cache/repro
+# when the environment says nothing. Tests must be hermetic - no state
+# carried between runs or from the developer's cache - so default it
+# OFF here; store tests opt back in with monkeypatch + tmp_path.
+os.environ.setdefault("REPRO_CACHE_DIR", "off")
 
 
 def pytest_addoption(parser):

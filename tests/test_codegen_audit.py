@@ -346,7 +346,7 @@ class TestLiveSystems:
     def test_audit_suite_smoke(self):
         results = audit_suite(["sha"], scale=0.2)
         assert set(results) == {"batch:replay", "sha",
-                                "lockstep:engines"}
+                                "lockstep:engines", "store:loads"}
         assert {k: [f.render() for f in v]
                 for k, v in results.items() if v} == {}
 
